@@ -1,0 +1,69 @@
+// E3 — Corollary 4.1: one CONGESTED CLIQUE round on a skeleton of Θ(n^x)
+// nodes costs Õ(n^{2x−1} + n^{x/2}) HYBRID rounds.
+//
+// Sweep x at fixed n and n at fixed x; report measured HYBRID rounds per
+// simulated clique round against the prediction. Also the E13-adjacent
+// comparison: the real message-level naive CLIQUE APSP (n_S rounds) vs. the
+// declared rounds of the cited fast algorithms — why charging published
+// complexities is the only way to reproduce Theorems 1.2–1.4 (DESIGN.md §4).
+#include <cmath>
+#include <iostream>
+
+#include "clique/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "proto/clique_embed.hpp"
+#include "proto/skeleton.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hybrid;
+
+  print_section("E3 / Corollary 4.1 — cost of one CLIQUE round on a "
+                "skeleton of n^x nodes");
+  std::cout << "prediction: n^{2x-1} + n^{x/2} (up to polylog); "
+               "per-round cost measured over 2 charged rounds after "
+               "context setup.\n";
+  table t({"n", "x", "|V_S|", "setup rounds", "rounds/clique-round",
+           "prediction", "measured/pred"});
+  for (u32 n : {512, 1024, 2048}) {
+    for (double x : {0.45, 0.55, 2.0 / 3.0, 0.75, 0.85}) {
+      const graph g = gen::erdos_renyi_connected(n, 6.0, 1, 70 + n);
+      hybrid_net net(g, model_config{}, 100 + n);
+      const double p = std::pow(static_cast<double>(n), x - 1.0);
+      const skeleton_result sk = compute_skeleton(net, p);
+      clique_embedding emb = build_clique_embedding(net, sk);
+      charge_clique_rounds(net, emb, 2);
+      const double per_round =
+          static_cast<double>(emb.hybrid_rounds_charged) / 2.0;
+      const double pred = std::pow(n, 2 * x - 1) + std::pow(n, x / 2);
+      t.add_row({table::integer(n), table::num(x, 3),
+                 table::integer(static_cast<long long>(sk.nodes.size())),
+                 table::integer(static_cast<long long>(emb.build_rounds)),
+                 table::num(per_round, 1), table::num(pred, 1),
+                 table::num(per_round / pred, 1)});
+    }
+  }
+  t.print();
+  std::cout << "\n(per-round cost is flat in the additive polylog overhead "
+               "until the data term n^{2x-1}+n^{x/2} takes over — "
+               "measured/pred falls toward a constant ~1 as x grows, and "
+               "within each x it is stable across n: Corollary 4.1's "
+               "shape)\n";
+
+  print_section("E3b — why declared rounds: naive message-level CLIQUE APSP "
+                "needs n_S rounds, the cited algorithms Õ(1)..Õ(n_S^0.16)");
+  table t2({"|V_S|", "naive full-exchange", "CHKL19 kSSP (1/eps)",
+            "CKKLPS19 APSP (n^0.157)", "CHDKL19 SSSP (n^{1/6})"});
+  for (u32 ns : {64, 128, 256, 512}) {
+    // Naive: validated at message level in tests; round count is exactly n_S.
+    const auto kssp = make_clique_kssp_1eps(0.25, injection::none);
+    const auto alg = make_clique_apsp_algebraic(0.25, injection::none);
+    const auto sssp = make_clique_sssp_exact();
+    t2.add_row({table::integer(ns), table::integer(ns),
+                table::integer(static_cast<long long>(kssp.declared_rounds(ns))),
+                table::integer(static_cast<long long>(alg.declared_rounds(ns))),
+                table::integer(static_cast<long long>(sssp.declared_rounds(ns)))});
+  }
+  t2.print();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E12 — primitive complexities (google-benchmark):
+//   Lemma 2.1: ruling set in O(µ log n) rounds;
+//   Lemma 2.2: helper sets in O(µ log n) rounds;
+//   Lemma B.1: token dissemination in Õ(√k + ℓ) rounds;
+//   Lemma B.2: aggregation in O(log n) rounds;
+//   Appendix D: k-wise hash evaluation throughput.
+// Simulated round counts are exported as counters next to wall time.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hash/kwise.hpp"
+#include "proto/aggregation.hpp"
+#include "proto/dissemination.hpp"
+#include "proto/helper_sets.hpp"
+#include "proto/ruling_set.hpp"
+
+namespace {
+
+using namespace hybrid;
+
+void bm_ruling_set(benchmark::State& state) {
+  const u32 n = 512;
+  const u32 mu = static_cast<u32>(state.range(0));
+  const graph g = gen::erdos_renyi_connected(n, 5.0, 1, 3);
+  u64 rounds = 0;
+  for (auto _ : state) {
+    hybrid_net net(g, model_config{}, 7);
+    compute_ruling_set(net, mu);
+    rounds = net.round();
+  }
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.counters["mu_logn"] = static_cast<double>(mu) * id_bits(n);
+}
+BENCHMARK(bm_ruling_set)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void bm_helper_sets(benchmark::State& state) {
+  const u32 n = 512;
+  const u32 mu = static_cast<u32>(state.range(0));
+  const graph g = gen::erdos_renyi_connected(n, 5.0, 1, 5);
+  rng r(9);
+  std::vector<u32> w;
+  for (u32 v = 0; v < n; ++v)
+    if (r.next_bool(1.0 / 16)) w.push_back(v);
+  u64 rounds = 0;
+  for (auto _ : state) {
+    hybrid_net net(g, model_config{}, 11);
+    compute_helpers(net, w, mu);
+    rounds = net.round();
+  }
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(bm_helper_sets)->Arg(2)->Arg(4)->Arg(8);
+
+void bm_dissemination(benchmark::State& state) {
+  const u32 n = 256;
+  const u32 k = static_cast<u32>(state.range(0));
+  const graph g = gen::erdos_renyi_connected(n, 5.0, 1, 13);
+  u64 rounds = 0;
+  for (auto _ : state) {
+    hybrid_net net(g, model_config{}, 17);
+    rng r(19);
+    std::vector<std::vector<token2>> initial(n);
+    for (u32 t = 0; t < k; ++t)
+      initial[r.next_below(n)].push_back({t, t});
+    disseminate(net, initial);
+    rounds = net.round();
+  }
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.counters["sqrt_k"] = std::sqrt(static_cast<double>(k));
+}
+BENCHMARK(bm_dissemination)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void bm_aggregation(benchmark::State& state) {
+  const u32 n = static_cast<u32>(state.range(0));
+  const graph g = gen::path(n);
+  std::vector<u64> vals(n, 3);
+  u64 rounds = 0;
+  for (auto _ : state) {
+    hybrid_net net(g, model_config{}, 23);
+    global_aggregate(net, agg_op::max, vals);
+    rounds = net.round();
+  }
+  state.counters["sim_rounds"] = static_cast<double>(rounds);
+  state.counters["log2_n"] = static_cast<double>(id_bits(n));
+}
+BENCHMARK(bm_aggregation)->Arg(64)->Arg(512)->Arg(4096);
+
+void bm_kwise_hash_eval(benchmark::State& state) {
+  rng r(29);
+  kwise_hash h(static_cast<u32>(state.range(0)), r);
+  u64 x = 12345;
+  for (auto _ : state) {
+    x = h.eval(x);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_kwise_hash_eval)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

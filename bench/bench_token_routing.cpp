@@ -1,0 +1,149 @@
+// E1 — Theorem 2.2: token routing runs in Õ(K/n + √k_S + √k_R) rounds,
+// vs. Ω̃(√(k·|S|)) for routing by broadcasting everything (token
+// dissemination, the tool available before this paper).
+//
+// Table 1: fixed workload shape, growing n — measured rounds vs. the
+//          Õ(K/n + √k_S + √k_R) prediction, receive-load check (Lemma D.2).
+// Table 2: token routing vs. broadcast baseline on the same instance — the
+//          crossover the paper's Section 2 motivates.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "proto/dissemination.hpp"
+#include "proto/token_routing.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybrid;
+
+struct instance {
+  graph g;
+  routing_spec spec;
+  std::vector<std::vector<routed_token>> batch;
+  u64 total_tokens = 0;
+};
+
+// Senders sampled at rate n^{-eps_s}, receivers at n^{-eps_r}; every sender
+// sends one token to every receiver (k_S = |R|, k_R = |S|).
+instance make_instance(u32 n, double eps_s, double eps_r, u64 seed) {
+  instance in;
+  in.g = gen::erdos_renyi_connected(n, 6.0, 1, seed);
+  rng r(derive_seed(seed, 99));
+  const double p_s = std::pow(n, -eps_s);
+  const double p_r = std::pow(n, -eps_r);
+  for (u32 v = 0; v < n; ++v) {
+    if (r.next_bool(p_s)) in.spec.senders.push_back(v);
+    if (r.next_bool(p_r)) in.spec.receivers.push_back(v);
+  }
+  if (in.spec.senders.empty()) in.spec.senders.push_back(0);
+  if (in.spec.receivers.empty()) in.spec.receivers.push_back(n - 1);
+  in.spec.p_s = p_s;
+  in.spec.p_r = p_r;
+  in.spec.k_s = in.spec.receivers.size();
+  in.spec.k_r = in.spec.senders.size();
+  in.batch.resize(in.spec.senders.size());
+  for (u32 i = 0; i < in.spec.senders.size(); ++i)
+    for (u32 j = 0; j < in.spec.receivers.size(); ++j) {
+      in.batch[i].push_back({in.spec.senders[i], in.spec.receivers[j], 0,
+                             (u64{i} << 32) | j});
+      ++in.total_tokens;
+    }
+  return in;
+}
+
+}  // namespace
+
+int main() {
+  print_section("E1 / Theorem 2.2 — token routing scaling");
+  std::cout << "instance: S sampled at n^-0.25, R at n^-0.5; one token per\n"
+               "(sender, receiver) pair; prediction = K/n + sqrt(kS) + "
+               "sqrt(kR) (rounds, up to polylog)\n";
+
+  table t1({"n", "|S|", "|R|", "K", "rounds", "K/n+rt(kS)+rt(kR)",
+            "rounds/pred", "max recv", "gamma"});
+  std::vector<double> ns, rounds_v;
+  for (u32 n : {128, 256, 512, 1024, 2048}) {
+    instance in = make_instance(n, 0.25, 0.5, 42 + n);
+    hybrid_net net(in.g, model_config{}, 1000 + n);
+    run_token_routing(net, in.spec, in.batch);
+    const run_metrics m = net.snapshot();
+    const double pred =
+        static_cast<double>(in.total_tokens) / n +
+        std::sqrt(static_cast<double>(in.spec.k_s)) +
+        std::sqrt(static_cast<double>(in.spec.k_r));
+    ns.push_back(n);
+    rounds_v.push_back(static_cast<double>(m.rounds));
+    t1.add_row({table::integer(n),
+                table::integer(static_cast<long long>(in.spec.senders.size())),
+                table::integer(static_cast<long long>(in.spec.receivers.size())),
+                table::integer(static_cast<long long>(in.total_tokens)),
+                table::integer(static_cast<long long>(m.rounds)),
+                table::num(pred, 1), table::num(m.rounds / pred, 1),
+                table::integer(m.max_global_recv_per_round),
+                table::integer(net.global_cap())});
+  }
+  t1.print();
+  const linear_fit fit = loglog_exponent_deflated(ns, rounds_v, 1.0);
+  std::cout << "\nfitted rounds exponent (log-deflated): "
+            << table::num(fit.slope, 3)
+            << "; the near-constant rounds/pred column is the Theorem 2.2 "
+               "shape (the absolute constant is the helper-set polylog)\n";
+
+  print_section("E1b — crossover vs broadcast-everything baseline "
+                "(fixed n = 256, growing workload)");
+  std::cout << "baseline: disseminate all K tokens to every node (Lemma "
+               "B.1, Omega~(sqrt(k|S|)) for point-to-point routing); "
+               "routing pays its helper-set setup once and then scales "
+               "as K/n + sqrt(k).\n";
+  table t2({"tokens/pair", "K", "routing rounds", "broadcast rounds",
+            "routing wins?"});
+  const u32 n2 = 256;
+  for (u32 per_pair : {1u, 16u, 64u, 128u}) {
+    instance in = make_instance(n2, 0.5, 0.5, 7 + per_pair);
+    // Expand to `per_pair` tokens per (sender, receiver) pair.
+    in.total_tokens = 0;
+    for (u32 i = 0; i < in.spec.senders.size(); ++i) {
+      in.batch[i].clear();
+      for (u32 j = 0; j < in.spec.receivers.size(); ++j)
+        for (u32 t = 0; t < per_pair; ++t) {
+          in.batch[i].push_back({in.spec.senders[i], in.spec.receivers[j], t,
+                                 (u64{i} << 32) | (j << 16) | t});
+          ++in.total_tokens;
+        }
+    }
+    in.spec.k_s = in.spec.receivers.size() * per_pair;
+    in.spec.k_r = in.spec.senders.size() * per_pair;
+
+    u64 routing_rounds = 0, broadcast_rounds = 0;
+    {
+      hybrid_net net(in.g, model_config{}, 5 + per_pair);
+      run_token_routing(net, in.spec, in.batch);
+      routing_rounds = net.snapshot().rounds;
+    }
+    {
+      hybrid_net net(in.g, model_config{}, 6 + per_pair);
+      std::vector<std::vector<token2>> init(n2);
+      for (u32 i = 0; i < in.batch.size(); ++i)
+        for (const routed_token& tk : in.batch[i])
+          init[tk.sender].push_back(
+              {(u64{tk.sender} << 32) | (u64{tk.receiver} << 8) | tk.index,
+               tk.payload});
+      disseminate(net, std::move(init));
+      broadcast_rounds = net.snapshot().rounds;
+    }
+    t2.add_row({table::integer(per_pair),
+                table::integer(static_cast<long long>(in.total_tokens)),
+                table::integer(static_cast<long long>(routing_rounds)),
+                table::integer(static_cast<long long>(broadcast_rounds)),
+                routing_rounds < broadcast_rounds ? "yes" : "not yet"});
+  }
+  t2.print();
+  std::cout << "\n(broadcast grows with sqrt(K)+l; routing stays near its "
+               "setup cost — the asymptotic separation Section 2 claims, "
+               "with the crossover visible at simulable sizes)\n";
+  return 0;
+}

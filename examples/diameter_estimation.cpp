@@ -1,0 +1,83 @@
+// Diameter estimation on a metro-style street network (paper Theorem 1.4).
+//
+// The motivating scenario from the paper's introduction: a city-scale local
+// mesh (high-bandwidth, short-range links — modeled by a grid with random
+// shortcut streets) whose operators also have cellular uplinks (the global
+// mode). Learning the network diameter tells them worst-case propagation
+// depth, e.g. for setting flooding TTLs in IP routing.
+//
+//   ./examples/diameter_estimation [rows] [cols] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/diameter.hpp"
+#include "graph/diameter.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// A grid with a few random "diagonal avenue" shortcuts.
+hybrid::graph make_city(hybrid::u32 rows, hybrid::u32 cols, hybrid::u64 seed) {
+  using namespace hybrid;
+  const graph base = gen::grid(rows, cols);
+  std::vector<edge_spec> edges;
+  for (u32 v = 0; v < base.num_nodes(); ++v)
+    for (const edge& e : base.neighbors(v))
+      if (v < e.to) edges.push_back({v, e.to, 1});
+  rng r(seed);
+  const u32 n = rows * cols;
+  for (u32 i = 0; i < n / 64; ++i) {
+    const u32 a = static_cast<u32>(r.next_below(n));
+    const u32 b = static_cast<u32>(r.next_below(n));
+    if (a != b) edges.push_back({a, b, 1});
+  }
+  return graph::from_edges(n, edges);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hybrid;
+  const u32 rows = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 40;
+  const u32 cols = argc > 2 ? static_cast<u32>(std::atoi(argv[2])) : 40;
+  const u64 seed = argc > 3 ? static_cast<u64>(std::atoll(argv[3])) : 3;
+
+  std::cout << "Diameter estimation demo (Theorem 1.4)\n";
+  const graph g = make_city(rows, cols, seed);
+  const u32 d_true = hop_diameter(g);
+  std::cout << "city mesh: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " links, true diameter " << d_true
+            << " (computed centrally for reference)\n\n";
+
+  table t({"algorithm", "estimate", "ratio", "proven bound", "branch",
+           "rounds", "|V_S|"});
+  {
+    const auto alg = make_clique_diameter_32(0.25, injection::worst_case);
+    const diameter_result res = hybrid_diameter(g, model_config{}, seed, alg);
+    t.add_row({"(3/2+eps), Cor 5.2",
+               table::integer(static_cast<long long>(res.estimate)),
+               table::num(static_cast<double>(res.estimate) / d_true, 3),
+               table::num(res.bound, 3),
+               res.exact_path ? "h-hat (exact)" : "skeleton",
+               table::integer(static_cast<long long>(res.metrics.rounds)),
+               table::integer(res.skeleton_size)});
+  }
+  {
+    const auto alg =
+        make_clique_diameter_algebraic(0.25, injection::worst_case);
+    const diameter_result res = hybrid_diameter(g, model_config{}, seed, alg);
+    t.add_row({"(1+eps), Cor 5.3",
+               table::integer(static_cast<long long>(res.estimate)),
+               table::num(static_cast<double>(res.estimate) / d_true, 3),
+               table::num(res.bound, 3),
+               res.exact_path ? "h-hat (exact)" : "skeleton",
+               table::integer(static_cast<long long>(res.metrics.rounds)),
+               table::integer(res.skeleton_size)});
+  }
+  t.print();
+  std::cout << "\nEquation (3): small diameters are caught exactly by the "
+               "local h-hat sweep; only D larger than the exploration "
+               "radius pays the skeleton approximation.\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "core/apsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "proto/dissemination.hpp"
+#include "proto/flood.hpp"
+#include "proto/skeleton.hpp"
+#include "proto/token_routing.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
+                              u64 seed, bool build_routes) {
+  hybrid_net net(g, cfg, seed);
+  const u32 n = net.n();
+  apsp_result out;
+
+  // ---- 1. skeleton with p = 1/√n ----------------------------------------
+  net.begin_phase("skeleton");
+  const double p = 1.0 / std::sqrt(static_cast<double>(n));
+  const skeleton_result sk = compute_skeleton(net, p);
+  const u32 n_s = static_cast<u32>(sk.nodes.size());
+  out.skeleton_size = n_s;
+  out.h = sk.h;
+
+  // ---- 2. make E_S public, solve APSP on S locally ------------------------
+  net.begin_phase("skeleton_dissemination");
+  std::vector<std::vector<token2>> edge_tokens(n);
+  for (u32 i = 0; i < n_s; ++i)
+    for (const auto& [j, w] : sk.edges[i])
+      if (i < j)  // each edge announced once, by its smaller endpoint
+        edge_tokens[sk.nodes[i]].push_back({(u64{i} << 32) | j, w});
+  disseminate(net, std::move(edge_tokens));
+  const std::vector<std::vector<u64>> dist_s = skeleton_apsp(sk);
+
+  // Every node v: d(v, s) = min_{u near v} d_h(v, u) + d_S(u, s)
+  // (free local computation; all inputs are known to v).
+  std::vector<std::vector<u64>> to_skel(n, std::vector<u64>(n_s, kInfDist));
+  for (u32 v = 0; v < n; ++v)
+    for (const source_distance& sd : sk.near[v])
+      for (u32 s = 0; s < n_s; ++s) {
+        const u64 cand = sd.dist + dist_s[sd.source][s];
+        to_skel[v][s] = std::min(to_skel[v][s], cand);
+      }
+
+  // ---- 3. token routing: every v sends d(v, s) to each s ∈ V_S -----------
+  net.begin_phase("token_routing");
+  routing_spec spec;
+  spec.senders.resize(n);
+  for (u32 v = 0; v < n; ++v) spec.senders[v] = v;
+  spec.receivers = sk.nodes;
+  spec.p_s = 1.0;
+  spec.p_r = p;
+  spec.k_s = n_s;
+  spec.k_r = n;
+  std::vector<std::vector<routed_token>> batch(n);
+  for (u32 v = 0; v < n; ++v) {
+    batch[v].reserve(n_s);
+    for (u32 s = 0; s < n_s; ++s)
+      batch[v].push_back({v, sk.nodes[s], 0, to_skel[v][s]});
+  }
+  const auto delivered = run_token_routing(net, std::move(spec), batch);
+
+  // labels[s][v] = d(s, v) assembled at skeleton node s.
+  std::vector<std::vector<u64>> labels(n_s, std::vector<u64>(n, kInfDist));
+  for (u32 s = 0; s < n_s; ++s) {
+    HYB_INVARIANT(delivered[s].size() == n, "skeleton node missed tokens");
+    for (const routed_token& t : delivered[s]) labels[s][t.sender] = t.payload;
+  }
+
+  // ---- 4. label flood + parallel local exploration + assembly ------------
+  net.begin_phase("label_flood");
+  table_flood(net, sk.nodes, std::vector<u64>(n_s, n), sk.h);
+  // The full h-hop exploration runs on the local network in parallel with
+  // everything above (LOCAL bandwidth is unbounded): charge traffic only.
+  const auto local_dist =
+      full_local_exploration(net, sk.h, /*advance_rounds=*/false);
+
+  out.dist.assign(n, std::vector<u64>(n, kInfDist));
+  for (u32 u = 0; u < n; ++u) {
+    std::vector<u64>& row = out.dist[u];
+    row = local_dist[u];
+    for (const source_distance& sd : sk.near[u]) {
+      const std::vector<u64>& lbl = labels[sd.source];
+      for (u32 v = 0; v < n; ++v)
+        row[v] = std::min(row[v], sd.dist + lbl[v]);
+    }
+  }
+
+  if (build_routes) {
+    // One more LOCAL round: every node shares its (exact) distance vector
+    // with its neighbors; next_hop[u][v] = argmin_w w(u,w) + d(w,v). With
+    // exact distances and weights ≥ 1 the remaining distance strictly
+    // decreases along every hop, so greedy forwarding is loop-free and
+    // realizes d(u,v) (the paper's IP-routing application).
+    net.begin_phase("route_tables");
+    net.charge_local(2 * g.num_edges() * n);
+    net.advance_round();
+    out.next_hop.assign(n, std::vector<u32>(n, ~u32{0}));
+    for (u32 u = 0; u < n; ++u) {
+      out.next_hop[u][u] = u;
+      for (const edge& e : net.g().neighbors(u)) {
+        const std::vector<u64>& nbr = out.dist[e.to];
+        for (u32 v = 0; v < n; ++v) {
+          if (v == u || nbr[v] == kInfDist) continue;
+          const u64 through = e.weight + nbr[v];
+          if (through == out.dist[u][v] &&
+              (out.next_hop[u][v] == ~u32{0} || e.to < out.next_hop[u][v]))
+            out.next_hop[u][v] = e.to;
+        }
+      }
+    }
+  }
+  out.metrics = net.snapshot();
+  return out;
+}
+
+}  // namespace hybrid

@@ -1,0 +1,42 @@
+// Exact APSP in Õ(√n) HYBRID rounds (paper Theorem 1.1, Section 3).
+//
+// Pipeline (x = √n, p = 1/x):
+//   1. skeleton: sample V_S with probability 1/√n, h = Õ(√n) local rounds
+//      teach every node d_h to nearby skeletons and give V_S its edges;
+//   2. the Õ(n) skeleton edges are token-disseminated (Õ(√n) rounds), after
+//      which every node solves APSP on S locally and knows d(v, s) for all
+//      s ∈ V_S (via min over nearby skeleton nodes);
+//   3. the replaced bottleneck: instead of broadcasting all |V_S|·n distance
+//      labels ([3]'s Õ(n^{2/3}) approach, see apsp_baseline.hpp), every node
+//      v routes one token per skeleton node s carrying d(v, s) with token
+//      routing — Õ(n·(n/x)/n + √n) = Õ(√n) rounds (proof of Theorem 1.1);
+//   4. every skeleton node s now knows d(s, v) for all v and floods the
+//      label table h hops; nodes assemble
+//        d(u, v) = min(d_h(u, v), min_{s near u} d_h(u, s) + d(s, v)).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct apsp_result {
+  std::vector<std::vector<u64>> dist;  ///< dist[u][v]
+  /// When built (see below): next_hop[u][v] = u's neighbor on a shortest
+  /// u→v path (u itself on the diagonal). Greedy forwarding along these
+  /// entries realizes exactly dist[u][v] — the paper's IP-routing
+  /// application (Section 1).
+  std::vector<std::vector<u32>> next_hop;
+  run_metrics metrics;
+  u32 skeleton_size = 0;
+  u32 h = 0;
+};
+
+/// Theorem 1.1. With `build_routes` every node additionally derives its
+/// next-hop routing table from information it already holds (free local
+/// computation: the local exploration's first hops and its chosen skeleton
+/// gateway), so the round complexity is unchanged.
+apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
+                              u64 seed, bool build_routes = false);
+
+}  // namespace hybrid

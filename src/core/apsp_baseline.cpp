@@ -1,0 +1,72 @@
+#include "core/apsp_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "proto/dissemination.hpp"
+#include "proto/flood.hpp"
+#include "proto/skeleton.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+apsp_baseline_result baseline_apsp_ahkss(const graph& g,
+                                         const model_config& cfg, u64 seed) {
+  hybrid_net net(g, cfg, seed);
+  const u32 n = net.n();
+  apsp_baseline_result out;
+
+  // ---- 1. skeleton with p = n^{-2/3} --------------------------------------
+  net.begin_phase("skeleton");
+  const double p = std::pow(static_cast<double>(n), -2.0 / 3.0);
+  const skeleton_result sk = compute_skeleton(net, p);
+  const u32 n_s = static_cast<u32>(sk.nodes.size());
+  out.skeleton_size = n_s;
+  out.h = sk.h;
+
+  // ---- 2. make E_S public ----------------------------------------------
+  net.begin_phase("skeleton_dissemination");
+  std::vector<std::vector<token2>> edge_tokens(n);
+  for (u32 i = 0; i < n_s; ++i)
+    for (const auto& [j, w] : sk.edges[i])
+      if (i < j) edge_tokens[sk.nodes[i]].push_back({(u64{i} << 32) | j, w});
+  disseminate(net, std::move(edge_tokens));
+  const std::vector<std::vector<u64>> dist_s = skeleton_apsp(sk);
+
+  // ---- 3. broadcast ALL h-limited labels d_h(v, s) ------------------------
+  net.begin_phase("label_dissemination");
+  std::vector<std::vector<token2>> label_tokens(n);
+  for (u32 v = 0; v < n; ++v)
+    for (const source_distance& sd : sk.near[v]) {
+      label_tokens[v].push_back({(u64{v} << 32) | sd.source, sd.dist});
+      ++out.labels_broadcast;
+    }
+  const dissemination_result labels =
+      disseminate(net, std::move(label_tokens));
+
+  // ---- 4. assemble locally ------------------------------------------------
+  net.begin_phase("assembly");
+  const auto local_dist =
+      full_local_exploration(net, sk.h, /*advance_rounds=*/false);
+
+  out.dist.assign(n, std::vector<u64>(n, kInfDist));
+  for (u32 u = 0; u < n; ++u) {
+    std::vector<u64>& row = out.dist[u];
+    row = local_dist[u];
+    // A[s2] = min_{s1 near u} d_h(u, s1) + d_S(s1, s2).
+    std::vector<u64> a(n_s, kInfDist);
+    for (const source_distance& sd : sk.near[u])
+      for (u32 s2 = 0; s2 < n_s; ++s2)
+        a[s2] = std::min(a[s2], sd.dist + dist_s[sd.source][s2]);
+    for (const token2& t : labels.tokens) {
+      const u32 v = static_cast<u32>(t.a >> 32);
+      const u32 s2 = static_cast<u32>(t.a & 0xffffffffu);
+      if (a[s2] == kInfDist) continue;
+      row[v] = std::min(row[v], a[s2] + t.b);
+    }
+  }
+  out.metrics = net.snapshot();
+  return out;
+}
+
+}  // namespace hybrid

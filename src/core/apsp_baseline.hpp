@@ -1,0 +1,29 @@
+// Baseline: the exact APSP algorithm of Augustine et al. [3] in Õ(n^{2/3})
+// HYBRID rounds (the algorithm Theorem 1.1 improves on; Section 3 describes
+// the difference).
+//
+// Identical pipeline to core/apsp.hpp except for the last step: instead of
+// token-routing one label per (node, skeleton) pair to its skeleton node,
+// ALL h-limited distance labels d_h(v, s), (v, s) ∈ V × V_S, are broadcast
+// to the whole network with token dissemination. That is Θ(n·|V_S|) tokens;
+// with the trade-off optimized at x = n^{2/3} (|V_S| ≈ n^{1/3}) the total
+// runtime is Õ(x + n/√x) = Õ(n^{2/3}).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct apsp_baseline_result {
+  std::vector<std::vector<u64>> dist;
+  run_metrics metrics;
+  u32 skeleton_size = 0;
+  u32 h = 0;
+  u64 labels_broadcast = 0;
+};
+
+apsp_baseline_result baseline_apsp_ahkss(const graph& g,
+                                         const model_config& cfg, u64 seed);
+
+}  // namespace hybrid

@@ -1,0 +1,101 @@
+#include "core/diameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/sssp.hpp"
+#include "proto/aggregation.hpp"
+#include "proto/clique_embed.hpp"
+#include "proto/flood.hpp"
+#include "proto/skeleton.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+diameter_result hybrid_diameter(const graph& g, const model_config& cfg,
+                                u64 seed,
+                                const clique_diameter_algorithm& alg) {
+  HYB_REQUIRE(g.is_unweighted(),
+              "Theorem 5.1 approximates the unweighted diameter");
+  hybrid_net net(g, cfg, seed);
+  const u32 n = net.n();
+  diameter_result out;
+
+  // ---- 1. skeleton ---------------------------------------------------------
+  net.begin_phase("skeleton");
+  const double x = 2.0 / (3.0 + 2.0 * alg.delta());  // Theorem 5.1
+
+  const double p = std::pow(static_cast<double>(n), x - 1.0);
+  const skeleton_result sk = compute_skeleton(net, p);
+  const u32 n_s = static_cast<u32>(sk.nodes.size());
+  out.skeleton_size = n_s;
+  out.h = sk.h;
+
+  // ---- 2. CLIQUE diameter algorithm on the skeleton ------------------------
+  net.begin_phase("clique_embedding");
+  clique_embedding emb = build_clique_embedding(net, sk);
+  net.begin_phase("clique_simulation");
+  charge_clique_rounds(net, emb, alg.declared_rounds(n_s));
+
+  u64 max_skel_weight = 1;
+  for (const auto& adj : sk.edges)
+    for (const auto& [to, w] : adj) {
+      (void)to;
+      max_skel_weight = std::max(max_skel_weight, w);
+    }
+  clique_problem prob;
+  prob.n_s = n_s;
+  prob.edges = &sk.edges;
+  prob.max_edge_weight = max_skel_weight;
+  out.skeleton_estimate = alg.solve(prob);
+
+  // ---- 3. (ηh+1)-round hello flood: h_v, and D̃(S) rides along -------------
+  net.begin_phase("eccentricity_flood");
+  const u64 eta_h =
+      static_cast<u64>(std::ceil(alg.eta() * static_cast<double>(sk.h))) + 1;
+  const auto ecc = truncated_eccentricity(net, static_cast<u32>(eta_h));
+  net.charge_local(n);  // D̃(S) spreading from skeleton nodes, in parallel
+  out.exploration_depth = eta_h;
+
+  // ---- 4. ĥ = max_v h_v (Lemma B.2 aggregation) ----------------------------
+  net.begin_phase("aggregation");
+  std::vector<u64> hv(n);
+  for (u32 v = 0; v < n; ++v) hv[v] = ecc[v];
+  out.h_hat = global_aggregate(net, agg_op::max, hv);
+
+  // ---- 5. Equation (3) ------------------------------------------------------
+  if (out.h_hat <= eta_h - 1) {
+    out.estimate = out.h_hat;  // the flood saw the whole graph: D̃ = D
+    out.exact_path = true;
+  } else {
+    out.estimate = out.skeleton_estimate + 2 * sk.h;
+    out.exact_path = false;
+  }
+
+  out.metrics = net.snapshot();
+  const double t_b = static_cast<double>(out.metrics.rounds);
+  const approx_contract c = alg.contract(max_skel_weight);
+  out.bound = c.alpha + 2.0 / alg.eta() + static_cast<double>(c.beta) / t_b;
+  return out;
+}
+
+weighted_diameter_result hybrid_weighted_diameter_2approx(
+    const graph& g, const model_config& cfg, u64 seed, u32 pivot) {
+  HYB_REQUIRE(pivot < g.num_nodes(), "pivot out of range");
+  // One exact SSSP from the pivot (Theorem 1.3), then a max-aggregation
+  // over every node's learned distance (Lemma B.2) yields e(pivot).
+  sssp_result sssp = hybrid_sssp_exact(g, cfg, seed, pivot);
+  weighted_diameter_result out;
+  for (u64 d : sssp.dist) {
+    HYB_REQUIRE(d != kInfDist, "graph must be connected");
+    out.eccentricity = std::max(out.eccentricity, d);
+  }
+  out.estimate = 2 * out.eccentricity;
+  out.metrics = std::move(sssp.metrics);
+  // Charge the aggregation that makes e(pivot) common knowledge.
+  out.metrics.rounds += aggregation_rounds(g.num_nodes());
+  out.metrics.global_messages += g.num_nodes();
+  return out;
+}
+
+}  // namespace hybrid

@@ -1,0 +1,49 @@
+// Diameter approximation in the HYBRID model (paper Theorem 5.1, Algorithm
+// 9; instantiations Theorem 1.4 / Corollaries 5.2–5.3). Unweighted graphs.
+//
+// Pipeline: skeleton of Θ(n^x) nodes (x = 2/(3+2δ)); a CLIQUE diameter
+// algorithm runs on it via the embedding, giving all skeleton nodes an
+// (α, β)-estimate D̃(S); an (ηh+1)-round hello flood teaches every node its
+// truncated eccentricity h_v (and spreads D̃(S) along the way); a global
+// max-aggregation produces ĥ = max_v h_v; finally Equation (3):
+//   D̃ = ĥ             if ĥ ≤ ηh   (then D̃ = D exactly)
+//   D̃ = D̃(S) + 2h     otherwise   (then D ≤ D̃ ≤ (α + 2/η + β/T_B)·D).
+#pragma once
+
+#include "clique/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct diameter_result {
+  u64 estimate = 0;      ///< D̃
+  bool exact_path = false;  ///< true when Equation (3) took the ĥ branch
+  u64 skeleton_estimate = 0;  ///< D̃(S)
+  u64 h_hat = 0;
+  run_metrics metrics;
+  u32 skeleton_size = 0;
+  u32 h = 0;
+  u64 exploration_depth = 0;
+  double bound = 0.0;  ///< proven approximation factor at measured T_B
+};
+
+diameter_result hybrid_diameter(const graph& g, const model_config& cfg,
+                                u64 seed,
+                                const clique_diameter_algorithm& alg);
+
+/// Weighted-diameter (2+o(1))-approximation in Õ(n^{2/5}) rounds — the
+/// upper bound the paper pairs with Theorem 1.6's (2−ε) lower bound
+/// (Section 1.1, footnote 6): one exact SSSP (Theorem 1.3) gives the
+/// eccentricity e(v) of its source via a max-aggregation, and
+/// e(v) ≤ D_w ≤ 2·e(v), so 2·e(v) is a 2-approximation from above.
+struct weighted_diameter_result {
+  u64 estimate = 0;     ///< 2·e(v): D_w ≤ estimate ≤ 2·D_w
+  u64 eccentricity = 0; ///< e(v): e(v) ≤ D_w
+  run_metrics metrics;
+};
+
+weighted_diameter_result hybrid_weighted_diameter_2approx(
+    const graph& g, const model_config& cfg, u64 seed, u32 pivot = 0);
+
+}  // namespace hybrid

@@ -1,0 +1,23 @@
+// Exact SSSP in Õ(n^{2/5}) HYBRID rounds (paper Theorem 1.3 / Corollary
+// 4.9): the Theorem 4.1 framework instantiated with the exact CLIQUE SSSP of
+// [7] (δ = 1/6, η = 1, α = 1, β = 0) and the source summoned into the
+// skeleton (Lemma 4.5), which makes the result exact w.h.p.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct sssp_result {
+  u32 source = 0;
+  std::vector<u64> dist;  ///< dist[v] = d(source, v)
+  run_metrics metrics;
+  u32 skeleton_size = 0;
+  u32 h = 0;
+};
+
+sssp_result hybrid_sssp_exact(const graph& g, const model_config& cfg,
+                              u64 seed, u32 source);
+
+}  // namespace hybrid

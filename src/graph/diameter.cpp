@@ -1,0 +1,69 @@
+#include "graph/diameter.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "graph/shortest_paths.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+u32 hop_diameter(const graph& g) {
+  u32 best = 0;
+  for (u32 v = 0; v < g.num_nodes(); ++v) {
+    for (u32 h : bfs_hops(g, v)) {
+      HYB_REQUIRE(h != ~u32{0}, "hop_diameter requires a connected graph");
+      best = std::max(best, h);
+    }
+  }
+  return best;
+}
+
+u64 weighted_diameter(const graph& g) {
+  u64 best = 0;
+  for (u32 v = 0; v < g.num_nodes(); ++v) {
+    for (u64 d : dijkstra(g, v)) {
+      HYB_REQUIRE(d != kInfDist, "weighted_diameter requires connectivity");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+u32 shortest_path_diameter(const graph& g) {
+  // Dijkstra ordered by (distance, hops): computes the minimum hop count
+  // among shortest paths from each source.
+  u32 best = 0;
+  for (u32 s = 0; s < g.num_nodes(); ++s) {
+    const u32 n = g.num_nodes();
+    std::vector<u64> dist(n, kInfDist);
+    std::vector<u32> hops(n, ~u32{0});
+    using item = std::tuple<u64, u32, u32>;  // (dist, hops, node)
+    std::priority_queue<item, std::vector<item>, std::greater<>> pq;
+    dist[s] = 0;
+    hops[s] = 0;
+    pq.push({0, 0, s});
+    while (!pq.empty()) {
+      auto [d, h, v] = pq.top();
+      pq.pop();
+      if (d != dist[v] || h != hops[v]) continue;
+      for (const edge& e : g.neighbors(v)) {
+        const u64 nd = d + e.weight;
+        const u32 nh = h + 1;
+        if (nd < dist[e.to] || (nd == dist[e.to] && nh < hops[e.to])) {
+          dist[e.to] = nd;
+          hops[e.to] = nh;
+          pq.push({nd, nh, e.to});
+        }
+      }
+    }
+    for (u32 v = 0; v < n; ++v) {
+      HYB_REQUIRE(dist[v] != kInfDist, "requires a connected graph");
+      best = std::max(best, hops[v]);
+    }
+  }
+  return best;
+}
+
+}  // namespace hybrid

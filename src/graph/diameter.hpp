@@ -1,0 +1,22 @@
+// Reference diameter computations.
+//
+// The paper's diameter problem targets D(G) = max hop distance (the local
+// graph's unweighted diameter); the weighted-diameter lower bound (Thm 1.6)
+// additionally needs max weighted distance.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace hybrid {
+
+/// D(G): maximum hop distance over all pairs (n BFS runs).
+u32 hop_diameter(const graph& g);
+
+/// Maximum weighted distance over all pairs (n Dijkstra runs).
+u64 weighted_diameter(const graph& g);
+
+/// Shortest-path diameter: max over pairs of the minimum hop count among
+/// weighted shortest paths. Drives the SSSP baseline comparison (paper §1.1).
+u32 shortest_path_diameter(const graph& g);
+
+}  // namespace hybrid

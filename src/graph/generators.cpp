@@ -1,0 +1,161 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace hybrid::gen {
+
+namespace {
+
+u64 draw_weight(rng& r, u64 max_weight) {
+  return max_weight <= 1 ? 1 : r.next_in(1, max_weight);
+}
+
+graph finish(u32 n, std::vector<edge_spec>& edges) {
+  return graph::from_edges(n, edges);
+}
+
+}  // namespace
+
+graph path(u32 n, u64 max_weight, u64 seed) {
+  HYB_REQUIRE(n >= 1, "path needs >= 1 node");
+  rng r(seed);
+  std::vector<edge_spec> edges;
+  for (u32 v = 0; v + 1 < n; ++v)
+    edges.push_back({v, v + 1, draw_weight(r, max_weight)});
+  return finish(n, edges);
+}
+
+graph cycle(u32 n, u64 max_weight, u64 seed) {
+  HYB_REQUIRE(n >= 3, "cycle needs >= 3 nodes");
+  rng r(seed);
+  std::vector<edge_spec> edges;
+  for (u32 v = 0; v < n; ++v)
+    edges.push_back({v, (v + 1) % n, draw_weight(r, max_weight)});
+  return finish(n, edges);
+}
+
+graph grid(u32 rows, u32 cols, u64 max_weight, u64 seed) {
+  HYB_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  rng r(seed);
+  std::vector<edge_spec> edges;
+  auto id = [cols](u32 i, u32 j) { return i * cols + j; };
+  for (u32 i = 0; i < rows; ++i)
+    for (u32 j = 0; j < cols; ++j) {
+      if (j + 1 < cols)
+        edges.push_back({id(i, j), id(i, j + 1), draw_weight(r, max_weight)});
+      if (i + 1 < rows)
+        edges.push_back({id(i, j), id(i + 1, j), draw_weight(r, max_weight)});
+    }
+  return finish(rows * cols, edges);
+}
+
+graph balanced_tree(u32 n, u32 arity, u64 max_weight, u64 seed) {
+  HYB_REQUIRE(n >= 1 && arity >= 1, "tree needs nodes and positive arity");
+  rng r(seed);
+  std::vector<edge_spec> edges;
+  for (u32 v = 1; v < n; ++v)
+    edges.push_back({(v - 1) / arity, v, draw_weight(r, max_weight)});
+  return finish(n, edges);
+}
+
+graph erdos_renyi_connected(u32 n, double avg_degree, u64 max_weight,
+                            u64 seed) {
+  HYB_REQUIRE(n >= 2, "need >= 2 nodes");
+  HYB_REQUIRE(avg_degree >= 2.0, "average degree must be >= 2 (tree edges)");
+  rng r(seed);
+  std::vector<edge_spec> edges;
+  std::set<std::pair<u32, u32>> present;
+  auto add = [&](u32 a, u32 b) {
+    auto key = std::minmax(a, b);
+    if (a == b || !present.insert(key).second) return false;
+    edges.push_back({a, b, draw_weight(r, max_weight)});
+    return true;
+  };
+  // Uniform random attachment tree keeps the base connected.
+  for (u32 v = 1; v < n; ++v) add(v, static_cast<u32>(r.next_below(v)));
+  const u64 target_edges = static_cast<u64>(avg_degree * n / 2.0);
+  u64 budget = 10 * target_edges + 100;  // rejection-sampling safety stop
+  while (edges.size() < target_edges && budget-- > 0)
+    add(static_cast<u32>(r.next_below(n)), static_cast<u32>(r.next_below(n)));
+  return finish(n, edges);
+}
+
+graph random_geometric(u32 n, double avg_degree, u64 max_weight, u64 seed) {
+  HYB_REQUIRE(n >= 2, "need >= 2 nodes");
+  rng r(seed);
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {r.next_double(), r.next_double()};
+  // Expected degree = n·π·rad² on the unit torus-free square (boundary
+  // effects shrink it slightly; acceptable for workload generation).
+  const double rad =
+      std::sqrt(avg_degree / (static_cast<double>(n) * 3.14159265358979));
+  std::vector<u32> order(n);
+  for (u32 v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](u32 a, u32 b) { return pos[a].first < pos[b].first; });
+  std::vector<edge_spec> edges;
+  for (u32 a = 0; a < n; ++a)
+    for (u32 b = a + 1; b < n; ++b) {
+      const double dx = pos[a].first - pos[b].first;
+      const double dy = pos[a].second - pos[b].second;
+      if (dx * dx + dy * dy <= rad * rad)
+        edges.push_back({a, b, draw_weight(r, max_weight)});
+    }
+  // Chain in x-order so the graph is always connected.
+  for (u32 i = 0; i + 1 < n; ++i)
+    edges.push_back({order[i], order[i + 1], draw_weight(r, max_weight)});
+  return finish(n, edges);
+}
+
+graph barbell(u32 k, u32 path_len, u64 max_weight, u64 seed) {
+  HYB_REQUIRE(k >= 2, "cliques need >= 2 nodes");
+  rng r(seed);
+  std::vector<edge_spec> edges;
+  const u32 n = 2 * k + path_len;
+  for (u32 a = 0; a < k; ++a)
+    for (u32 b = a + 1; b < k; ++b) {
+      edges.push_back({a, b, draw_weight(r, max_weight)});
+      edges.push_back({k + a, k + b, draw_weight(r, max_weight)});
+    }
+  // Path bridging clique 0 (node 0) and clique 1 (node k).
+  u32 prev = 0;
+  for (u32 i = 0; i < path_len; ++i) {
+    const u32 mid = 2 * k + i;
+    edges.push_back({prev, mid, draw_weight(r, max_weight)});
+    prev = mid;
+  }
+  edges.push_back({prev, k, draw_weight(r, max_weight)});
+  return finish(n, edges);
+}
+
+graph preferential_attachment(u32 n, u32 attach, u64 max_weight, u64 seed) {
+  HYB_REQUIRE(n >= 2 && attach >= 1, "need >= 2 nodes and attach >= 1");
+  rng r(seed);
+  std::vector<edge_spec> edges;
+  // endpoint pool: each edge contributes both endpoints, so drawing
+  // uniformly from the pool is degree-proportional sampling.
+  std::vector<u32> pool;
+  edges.push_back({0, 1, draw_weight(r, max_weight)});
+  pool.push_back(0);
+  pool.push_back(1);
+  for (u32 v = 2; v < n; ++v) {
+    std::set<u32> targets;
+    const u32 want = std::min<u32>(attach, v);
+    u32 guard = 40 * want + 16;
+    while (targets.size() < want && guard-- > 0)
+      targets.insert(pool[r.next_below(pool.size())]);
+    if (targets.empty()) targets.insert(static_cast<u32>(r.next_below(v)));
+    for (u32 t : targets) {
+      edges.push_back({v, t, draw_weight(r, max_weight)});
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return finish(n, edges);
+}
+
+}  // namespace hybrid::gen

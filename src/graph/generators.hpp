@@ -1,0 +1,39 @@
+// Workload graph generators.
+//
+// The benches run each algorithm over families with very different
+// local-graph geometry: expanders (ER), flat tori (grid), paths (maximal
+// diameter), trees, and the near-clique barbell. All generators return
+// connected graphs; weighted variants draw integer weights uniformly from
+// [1, max_weight].
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hybrid::gen {
+
+graph path(u32 n, u64 max_weight = 1, u64 seed = 1);
+graph cycle(u32 n, u64 max_weight = 1, u64 seed = 1);
+graph grid(u32 rows, u32 cols, u64 max_weight = 1, u64 seed = 1);
+graph balanced_tree(u32 n, u32 arity = 2, u64 max_weight = 1, u64 seed = 1);
+
+/// Connected Erdős–Rényi-style graph: a uniform random spanning tree plus
+/// extra uniform edges until average degree ≈ avg_degree.
+graph erdos_renyi_connected(u32 n, double avg_degree, u64 max_weight,
+                            u64 seed);
+
+/// Random geometric graph on the unit square, radius scaled to hit roughly
+/// avg_degree; chained by x-order to guarantee connectivity.
+graph random_geometric(u32 n, double avg_degree, u64 max_weight, u64 seed);
+
+/// Two cliques of size k joined by a bridge with path_len intermediate
+/// nodes (path_len + 1 edges).
+graph barbell(u32 k, u32 path_len, u64 max_weight = 1, u64 seed = 1);
+
+/// Scale-free graph by preferential attachment (Barabási–Albert style):
+/// each new node attaches `attach` edges to endpoints drawn proportionally
+/// to degree. Models P2P-overlay-like local topologies from the paper's
+/// motivation. Always connected.
+graph preferential_attachment(u32 n, u32 attach, u64 max_weight, u64 seed);
+
+}  // namespace hybrid::gen

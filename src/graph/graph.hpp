@@ -1,0 +1,60 @@
+// Weighted undirected graph substrate (CSR) used as the HYBRID local
+// communication graph G = (V, E).
+//
+// Conventions follow the paper's preliminaries: nodes are [0, n); edge
+// weights are integers in [1, W] with W polynomial in n (unweighted means
+// W = 1); distances are sums of weights, hop distances count edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace hybrid {
+
+/// Distance infinity; chosen so that INF + any edge weight cannot overflow.
+inline constexpr u64 kInfDist = ~u64{0} / 4;
+
+struct edge {
+  u32 to;
+  u64 weight;
+};
+
+struct edge_spec {
+  u32 a;
+  u32 b;
+  u64 weight;
+};
+
+class graph {
+ public:
+  graph() = default;
+
+  /// Build from an undirected edge list. Parallel edges are collapsed to the
+  /// lightest; self-loops are rejected.
+  static graph from_edges(u32 n, std::span<const edge_spec> edges);
+
+  u32 num_nodes() const { return n_; }
+  u64 num_edges() const { return adj_.size() / 2; }
+
+  std::span<const edge> neighbors(u32 v) const {
+    return {adj_.data() + offset_[v], adj_.data() + offset_[v + 1]};
+  }
+
+  u32 degree(u32 v) const { return offset_[v + 1] - offset_[v]; }
+
+  u64 max_weight() const { return max_weight_; }
+  bool is_unweighted() const { return max_weight_ <= 1; }
+
+  bool is_connected() const;
+
+ private:
+  u32 n_ = 0;
+  std::vector<u32> offset_;  // size n_ + 1
+  std::vector<edge> adj_;    // both directions materialized
+  u64 max_weight_ = 0;
+};
+
+}  // namespace hybrid

@@ -1,0 +1,88 @@
+#include "graph/shortest_paths.hpp"
+
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+std::vector<u64> dijkstra(const graph& g, u32 source) {
+  HYB_REQUIRE(source < g.num_nodes(), "source out of range");
+  std::vector<u64> dist(g.num_nodes(), kInfDist);
+  using item = std::pair<u64, u32>;  // (distance, node)
+  std::priority_queue<item, std::vector<item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;
+    for (const edge& e : g.neighbors(v)) {
+      const u64 nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<u32> bfs_hops(const graph& g, u32 source) {
+  HYB_REQUIRE(source < g.num_nodes(), "source out of range");
+  constexpr u32 unreached = ~u32{0};
+  std::vector<u32> hop(g.num_nodes(), unreached);
+  std::queue<u32> q;
+  hop[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    u32 v = q.front();
+    q.pop();
+    for (const edge& e : g.neighbors(v)) {
+      if (hop[e.to] == unreached) {
+        hop[e.to] = hop[v] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return hop;
+}
+
+std::vector<u64> limited_distance(const graph& g, u32 source, u32 h) {
+  HYB_REQUIRE(source < g.num_nodes(), "source out of range");
+  std::vector<u64> cur(g.num_nodes(), kInfDist);
+  cur[source] = 0;
+  std::vector<u64> next = cur;
+  for (u32 round = 0; round < h; ++round) {
+    bool changed = false;
+    for (u32 v = 0; v < g.num_nodes(); ++v) {
+      if (cur[v] == kInfDist) continue;
+      for (const edge& e : g.neighbors(v)) {
+        const u64 nd = cur[v] + e.weight;
+        if (nd < next[e.to]) {
+          next[e.to] = nd;
+          changed = true;
+        }
+      }
+    }
+    cur = next;
+    if (!changed) break;
+  }
+  return cur;
+}
+
+std::vector<std::vector<u64>> apsp_reference(const graph& g) {
+  std::vector<std::vector<u64>> all(g.num_nodes());
+  for (u32 v = 0; v < g.num_nodes(); ++v) all[v] = dijkstra(g, v);
+  return all;
+}
+
+std::vector<std::vector<u64>> multi_source_reference(
+    const graph& g, std::span<const u32> sources) {
+  std::vector<std::vector<u64>> all;
+  all.reserve(sources.size());
+  for (u32 s : sources) all.push_back(dijkstra(g, s));
+  return all;
+}
+
+}  // namespace hybrid

@@ -1,0 +1,30 @@
+// Centralized reference algorithms — the ground truth every simulated
+// protocol is checked against, and the paper's basic definitions
+// (d, hop, d_h from the preliminaries) made executable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hybrid {
+
+/// Dijkstra from one source; dist[v] = d(source, v) (kInfDist if unreachable).
+std::vector<u64> dijkstra(const graph& g, u32 source);
+
+/// BFS hop distances hop(source, v).
+std::vector<u32> bfs_hops(const graph& g, u32 source);
+
+/// h-hop-limited distances d_h(source, ·) (paper preliminaries): the lightest
+/// walk using at most h edges. Bellman–Ford with h relaxation rounds.
+std::vector<u64> limited_distance(const graph& g, u32 source, u32 h);
+
+/// Exact APSP (n Dijkstra runs); row v = distances from v.
+std::vector<std::vector<u64>> apsp_reference(const graph& g);
+
+/// Multi-source: dist[i][v] = d(sources[i], v).
+std::vector<std::vector<u64>> multi_source_reference(
+    const graph& g, std::span<const u32> sources);
+
+}  // namespace hybrid

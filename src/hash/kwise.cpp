@@ -1,0 +1,58 @@
+#include "hash/kwise.hpp"
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+namespace {
+
+/// Multiplication mod 2^61−1 using 128-bit intermediate + Mersenne folding.
+u64 mul_mod(u64 a, u64 b) {
+  const __uint128_t p = static_cast<__uint128_t>(a) * b;
+  u64 lo = static_cast<u64>(p) & kwise_hash::kPrime;
+  u64 hi = static_cast<u64>(p >> 61);
+  u64 s = lo + hi;
+  if (s >= kwise_hash::kPrime) s -= kwise_hash::kPrime;
+  return s;
+}
+
+u64 add_mod(u64 a, u64 b) {
+  u64 s = a + b;  // both < 2^61, no overflow
+  if (s >= kwise_hash::kPrime) s -= kwise_hash::kPrime;
+  return s;
+}
+
+}  // namespace
+
+kwise_hash::kwise_hash(u32 independence, rng& seed_source)
+    : independence_(independence) {
+  HYB_REQUIRE(independence >= 2, "need at least pairwise independence");
+  coeff_.reserve(independence);
+  for (u32 i = 0; i < independence; ++i)
+    coeff_.push_back(seed_source.next_below(kPrime));
+}
+
+u64 kwise_hash::eval(u64 key) const {
+  u64 x = key % kPrime;
+  // Horner evaluation of sum coeff_[j] * x^j.
+  u64 acc = coeff_.back();
+  for (u32 j = independence_ - 1; j-- > 0;)
+    acc = add_mod(mul_mod(acc, x), coeff_[j]);
+  return acc;
+}
+
+u32 kwise_hash::eval_to_range(u64 key, u32 range) const {
+  HYB_REQUIRE(range > 0, "range must be positive");
+  return static_cast<u32>(eval(key) % range);
+}
+
+u64 kwise_hash::encode_label(u32 s, u32 r, u32 i, u32 n, u32 max_i) {
+  const __uint128_t combined =
+      (static_cast<__uint128_t>(s) * n + r) * (static_cast<u64>(max_i) + 1) +
+      i;
+  HYB_REQUIRE(combined < kPrime,
+              "label space exceeds hash field; shrink n or max_i");
+  return static_cast<u64>(combined);
+}
+
+}  // namespace hybrid

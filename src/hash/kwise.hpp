@@ -1,0 +1,49 @@
+// k-wise independent hash family (paper Appendix D, Definition D.1 /
+// Lemma D.1).
+//
+// The token-routing scheme (Algorithm 4) selects intermediate nodes with a
+// publicly known hash h : V × V × N → V drawn from a k-wise independent
+// family for k = Θ(log n). Lemma D.2 then bounds every node's receive load by
+// O(log n) messages per round w.h.p. We realize the classical construction: a
+// degree-(k−1) polynomial over the Mersenne-prime field GF(2^61 − 1). The seed
+// is the k coefficients, i.e. k·61 ∈ O(log² n) random bits — exactly the seed
+// budget Lemma 2.3 accounts for broadcasting.
+#pragma once
+
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace hybrid {
+
+class kwise_hash {
+ public:
+  static constexpr u64 kPrime = (u64{1} << 61) - 1;
+
+  /// Draw a function with `independence`-wise independence from the family,
+  /// consuming randomness from `seed_source` (models the broadcast seed).
+  kwise_hash(u32 independence, rng& seed_source);
+
+  /// Evaluate on an arbitrary 64-bit key (< kPrime after reduction).
+  u64 eval(u64 key) const;
+
+  /// Evaluate and map into [0, range). The map is mod-range; the residual
+  /// bias is ≤ range/2^61 and irrelevant at simulation scales.
+  u32 eval_to_range(u64 key, u32 range) const;
+
+  /// Injective key encoding for token labels (s, r, i) as used by
+  /// Algorithm 4. Requires the combined key to fit below kPrime.
+  static u64 encode_label(u32 s, u32 r, u32 i, u32 n, u32 max_i);
+
+  u32 independence() const { return independence_; }
+
+  /// Number of random bits the public seed carries (Lemma 2.3: O(log² n)).
+  u64 seed_bits() const { return static_cast<u64>(independence_) * 61; }
+
+ private:
+  u32 independence_;
+  std::vector<u64> coeff_;
+};
+
+}  // namespace hybrid

@@ -1,0 +1,99 @@
+#include "lb/gamma_graph.hpp"
+
+#include "util/assert.hpp"
+
+namespace hybrid::lb {
+
+bool disjoint(const std::vector<u8>& a, const std::vector<u8>& b) {
+  HYB_REQUIRE(a.size() == b.size(), "instance halves must match in length");
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] && b[i]) return false;
+  return true;
+}
+
+gamma_graph build_gamma(const gamma_params& p, const std::vector<u8>& a,
+                        const std::vector<u8>& b) {
+  HYB_REQUIRE(p.k >= 2, "need k >= 2");
+  HYB_REQUIRE(p.ell >= 2, "need ell >= 2");
+  HYB_REQUIRE(p.w >= 1, "need W >= 1");
+  const u64 universe = static_cast<u64>(p.k) * p.k;
+  HYB_REQUIRE(a.size() == universe && b.size() == universe,
+              "instance must have k^2 bits");
+
+  gamma_graph out;
+  out.params = p;
+  std::vector<u32>& column = out.column;
+  std::vector<edge_spec> edges;
+
+  u32 next = 0;
+  auto fresh = [&](u32 col) {
+    column.push_back(col);
+    return next++;
+  };
+
+  // Cliques.
+  out.v1.resize(p.k);
+  out.v2.resize(p.k);
+  out.u1.resize(p.k);
+  out.u2.resize(p.k);
+  for (u32 i = 0; i < p.k; ++i) out.v1[i] = fresh(0);
+  for (u32 i = 0; i < p.k; ++i) out.v2[i] = fresh(0);
+  for (u32 i = 0; i < p.k; ++i) out.u1[i] = fresh(p.ell);
+  for (u32 i = 0; i < p.k; ++i) out.u2[i] = fresh(p.ell);
+  auto clique = [&](const std::vector<u32>& c) {
+    for (u32 i = 0; i < c.size(); ++i)
+      for (u32 j = i + 1; j < c.size(); ++j)
+        edges.push_back({c[i], c[j], p.w});
+  };
+  clique(out.v1);
+  clique(out.v2);
+  clique(out.u1);
+  clique(out.u2);
+
+  // Hubs.
+  out.v_hat = fresh(0);
+  out.u_hat = fresh(p.ell);
+  for (u32 i = 0; i < p.k; ++i) {
+    edges.push_back({out.v_hat, out.v1[i], p.w});
+    edges.push_back({out.v_hat, out.v2[i], p.w});
+    edges.push_back({out.u_hat, out.u1[i], p.w});
+    edges.push_back({out.u_hat, out.u2[i], p.w});
+  }
+
+  // ℓ-hop unit paths for the matchings and the hub path.
+  auto path = [&](u32 from, u32 to) {
+    u32 prev = from;
+    for (u32 step = 1; step < p.ell; ++step) {
+      const u32 mid = fresh(step);
+      edges.push_back({prev, mid, 1});
+      prev = mid;
+    }
+    edges.push_back({prev, to, 1});
+  };
+  for (u32 i = 0; i < p.k; ++i) {
+    path(out.v1[i], out.u1[i]);
+    path(out.v2[i], out.u2[i]);
+  }
+  path(out.v_hat, out.u_hat);
+
+  // Input encoding: pair i ↦ (i / k, i % k); the RED edge exists iff the
+  // bit is 0.
+  for (u64 i = 0; i < universe; ++i) {
+    const u32 x = static_cast<u32>(i / p.k);
+    const u32 y = static_cast<u32>(i % p.k);
+    if (a[i] == 0) edges.push_back({out.v1[x], out.v2[y], p.w});
+    if (b[i] == 0) edges.push_back({out.u1[x], out.u2[y], p.w});
+  }
+
+  out.g = graph::from_edges(next, edges);
+  return out;
+}
+
+std::vector<u8> gamma_graph::alice_bob_cut() const {
+  std::vector<u8> side(g.num_nodes());
+  const u32 split = params.ell / 2;
+  for (u32 v = 0; v < g.num_nodes(); ++v) side[v] = column[v] > split ? 1 : 0;
+  return side;
+}
+
+}  // namespace hybrid::lb

@@ -1,0 +1,60 @@
+// The set-disjointness diameter graph Γ^{a,b}_{k,ℓ,W} (paper Section 7,
+// Figure 2; adaptation of Holzer–Pinsker [17]).
+//
+// Four k-node cliques V1, V2, U1, U2 (internal edges of weight W); V_i and
+// U_i are perfectly matched by ℓ-hop paths of unit edges; hub nodes v̂ (tied
+// to V1 ∪ V2) and û (tied to U1 ∪ U2) with weight-W edges are joined by an
+// ℓ-hop, ℓ-weight path. Bit a_i (resp. b_i) of the disjointness instance is
+// encoded by ADDING the weight-W edge of pair p_i ∈ V1×V2 (q_i ∈ U1×U2) iff
+// the bit is 0. Lemma 7.1 (weighted, W > ℓ): diam ≤ W+2ℓ iff a, b disjoint,
+// else ≥ 2W+ℓ. Lemma 7.2 (W = 1): diam = ℓ+1 iff disjoint, else ℓ+2.
+//
+// The node layout exposes a column index (0 … ℓ); the Alice/Bob cut used by
+// the simulation argument of Lemma 7.3 splits at column ⌊ℓ/2⌋.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hybrid::lb {
+
+struct gamma_params {
+  u32 k = 4;       ///< clique size; instance universe is k²
+  u32 ell = 4;     ///< path length (hops); must be ≥ 2
+  u64 w = 16;      ///< clique/hub edge weight (1 for the unweighted case)
+};
+
+struct gamma_graph {
+  graph g;
+  gamma_params params;
+
+  // Node IDs by role.
+  std::vector<u32> v1, v2, u1, u2;  ///< the four cliques, index 0..k-1
+  u32 v_hat = 0, u_hat = 0;
+
+  /// Column of each node: 0 for V1∪V2∪{v̂}, ℓ for U1∪U2∪{û}, 1..ℓ-1 for
+  /// path-internal nodes (Lemma 7.3's simulation columns).
+  std::vector<u32> column;
+
+  /// Alice/Bob bipartition at column ⌊ℓ/2⌋ (0 = Alice side).
+  std::vector<u8> alice_bob_cut() const;
+
+  /// The diameter thresholds of Lemmas 7.1 / 7.2.
+  u64 low_diameter() const {
+    return params.w == 1 ? params.ell + 1 : params.w + 2 * params.ell;
+  }
+  u64 high_diameter() const {
+    return params.w == 1 ? params.ell + 2 : 2 * params.w + params.ell;
+  }
+};
+
+/// Build Γ^{a,b}. `a` and `b` are bit vectors of length k² (bit i maps to
+/// pair (i / k, i % k), consistent with the matching).
+gamma_graph build_gamma(const gamma_params& p, const std::vector<u8>& a,
+                        const std::vector<u8>& b);
+
+/// Whether two bit vectors are disjoint (no index with a_i = b_i = 1).
+bool disjoint(const std::vector<u8>& a, const std::vector<u8>& b);
+
+}  // namespace hybrid::lb

@@ -1,0 +1,49 @@
+#include "lb/kssp_lb_graph.hpp"
+
+#include "util/assert.hpp"
+
+namespace hybrid::lb {
+
+kssp_lb_graph build_kssp_lb(const kssp_lb_params& p, rng& r) {
+  HYB_REQUIRE(p.path_len >= 4, "path too short");
+  HYB_REQUIRE(p.l >= 1 && p.l < p.path_len / 2,
+              "v1 must sit strictly in the first half of the path");
+  HYB_REQUIRE(p.k >= 2 && p.k % 2 == 0, "k must be even and >= 2");
+
+  kssp_lb_graph out;
+  out.params = p;
+
+  // Path nodes 0..path_len: b = 0, v1 = node at hop L, v2 = far end.
+  std::vector<edge_spec> edges;
+  const u32 path_nodes = p.path_len + 1;
+  for (u32 i = 0; i + 1 < path_nodes; ++i) edges.push_back({i, i + 1, 1});
+  out.b = 0;
+  out.v1 = p.l;
+  out.v2 = p.path_len;
+
+  // Random half/half split of the k sources.
+  std::vector<u32> order(p.k);
+  for (u32 i = 0; i < p.k; ++i) order[i] = i;
+  r.shuffle(order);
+  out.in_s1.assign(p.k, 0);
+  for (u32 i = 0; i < p.k / 2; ++i) out.in_s1[order[i]] = 1;
+
+  out.sources.resize(p.k);
+  for (u32 i = 0; i < p.k; ++i) {
+    const u32 s = path_nodes + i;
+    out.sources[i] = s;
+    edges.push_back({s, out.in_s1[i] ? out.v1 : out.v2, 1});
+  }
+  out.g = graph::from_edges(path_nodes + p.k, edges);
+  return out;
+}
+
+std::vector<u8> kssp_lb_graph::path_cut() const {
+  // Alice = b's side: path nodes at hop < L; Bob = everything else
+  // (v1, the far path, and all sources).
+  std::vector<u8> side(g.num_nodes(), 1);
+  for (u32 i = 0; i < params.l && i < g.num_nodes(); ++i) side[i] = 0;
+  return side;
+}
+
+}  // namespace hybrid::lb

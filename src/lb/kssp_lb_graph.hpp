@@ -1,0 +1,48 @@
+// The k-SSP lower-bound graph (paper Section 6, Figure 1, Theorem 1.5).
+//
+// An Ω(n)-hop unit path ends in a dedicated node b. Node v1 sits at hop
+// distance L ∈ Θ̃(√k) from b, node v2 at the far end. A random half of the k
+// sources attaches to v1, the other half to v2. b must learn Ω(k) bits (the
+// random S1/S2 split) through a path whose global-mode capacity is
+// Õ(L) bits per round, giving the Ω̃(√k) bound; and any α-approximation with
+// α ≤ α' ∈ Θ(n/√k) must distinguish d(b, S1) = L+1 from d(b, S2) = Θ(n).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace hybrid::lb {
+
+struct kssp_lb_params {
+  u32 path_len = 256;  ///< hops of the backbone path (Ω(n))
+  u32 k = 64;          ///< number of sources
+  u32 l = 16;          ///< distance of v1 from b (Θ̃(√k))
+};
+
+struct kssp_lb_graph {
+  graph g;
+  kssp_lb_params params;
+  u32 b = 0;   ///< the observer endpoint
+  u32 v1 = 0;  ///< near attachment point (hop L from b)
+  u32 v2 = 0;  ///< far attachment point
+  std::vector<u32> sources;       ///< all k source node IDs
+  std::vector<u8> in_s1;          ///< per source: 1 if attached at v1
+  /// Cut for bit accounting: nodes within hop < L of b vs. the rest.
+  std::vector<u8> path_cut() const;
+
+  /// Ground-truth distances from b: L+1 for S1 sources, path_len+1 for S2.
+  u64 dist_b_s1() const { return params.l + 1; }
+  u64 dist_b_s2() const { return params.path_len + 1; }
+  /// The approximation ratio that must be beaten to separate S1 from S2.
+  double alpha_prime() const {
+    return static_cast<double>(dist_b_s2()) /
+           static_cast<double>(dist_b_s1());
+  }
+};
+
+/// Build an instance with a uniformly random half/half S1/S2 split.
+kssp_lb_graph build_kssp_lb(const kssp_lb_params& p, rng& r);
+
+}  // namespace hybrid::lb

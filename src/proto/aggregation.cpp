@@ -1,0 +1,116 @@
+#include "proto/aggregation.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+namespace {
+
+u64 combine(agg_op op, u64 x, u64 y) {
+  switch (op) {
+    case agg_op::max:
+      return std::max(x, y);
+    case agg_op::min:
+      return std::min(x, y);
+    case agg_op::sum:
+      return x + y;
+    case agg_op::logical_and:
+      return (x != 0 && y != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+u32 tree_depth_of(u32 v) {
+  u32 d = 0;
+  while (v != 0) {
+    v = (v - 1) / 2;
+    ++d;
+  }
+  return d;
+}
+
+constexpr u32 kUpTag = 0xA661;
+constexpr u32 kDownTag = 0xA662;
+
+}  // namespace
+
+u32 aggregation_rounds(u32 n) {
+  return 2 * tree_depth_of(n - 1) + 1;
+}
+
+u64 global_aggregate(hybrid_net& net, agg_op op,
+                     const std::vector<u64>& values) {
+  const u32 n = net.n();
+  HYB_REQUIRE(values.size() == n, "need one value per node");
+
+  const u32 max_depth = tree_depth_of(n - 1);
+  std::vector<u32> depth(n);
+  std::vector<u32> pending_children(n, 0);
+  for (u32 v = 0; v < n; ++v) depth[v] = tree_depth_of(v);
+  for (u32 v = 1; v < n; ++v) ++pending_children[(v - 1) / 2];
+
+  std::vector<u64> acc = values;
+  // Convergecast: a node sends up once all children have reported; leaves
+  // at the deepest level go first, so the whole up-phase takes max_depth
+  // rounds in lockstep.
+  for (u32 r = 0; r < max_depth; ++r) {
+    for (u32 v = 0; v < n; ++v)
+      for (const global_msg& m : net.global_inbox(v))
+        if (m.tag == kUpTag) {
+          acc[v] = combine(op, acc[v], m.w[0]);
+          HYB_INVARIANT(pending_children[v] > 0, "unexpected child report");
+          --pending_children[v];
+        }
+    for (u32 v = 1; v < n; ++v) {
+      if (depth[v] == max_depth - r && pending_children[v] == 0) {
+        const bool ok = net.try_send_global(
+            global_msg::make(v, (v - 1) / 2, kUpTag, {acc[v]}));
+        HYB_INVARIANT(ok, "aggregation exceeded the global send cap");
+      }
+    }
+    net.advance_round();
+  }
+  // Drain reports that arrived in the final up round (children at depth 1).
+  for (u32 v = 0; v < n; ++v)
+    for (const global_msg& m : net.global_inbox(v))
+      if (m.tag == kUpTag) acc[v] = combine(op, acc[v], m.w[0]);
+
+  // Broadcast down.
+  std::vector<char> have(n, 0);
+  have[0] = 1;
+  for (u32 r = 0; r <= max_depth; ++r) {
+    for (u32 v = 0; v < n; ++v)
+      for (const global_msg& m : net.global_inbox(v))
+        if (m.tag == kDownTag) {
+          acc[v] = m.w[0];
+          have[v] = 1;
+        }
+    bool sent_any = false;
+    for (u32 v = 0; v < n; ++v) {
+      if (!have[v] || depth[v] != r) continue;
+      for (u32 c : {2 * v + 1, 2 * v + 2}) {
+        if (c < n) {
+          const bool ok = net.try_send_global(
+              global_msg::make(v, c, kDownTag, {acc[v]}));
+          HYB_INVARIANT(ok, "aggregation exceeded the global send cap");
+          sent_any = true;
+        }
+      }
+    }
+    net.advance_round();
+    if (!sent_any && r == max_depth) break;
+  }
+  // Deliver the last hop.
+  for (u32 v = 0; v < n; ++v)
+    for (const global_msg& m : net.global_inbox(v))
+      if (m.tag == kDownTag) acc[v] = m.w[0];
+
+  const u64 result = acc[0];
+  for (u32 v = 0; v < n; ++v)
+    HYB_INVARIANT(acc[v] == result, "aggregation failed to reach all nodes");
+  return result;
+}
+
+}  // namespace hybrid

@@ -1,0 +1,26 @@
+// Global aggregation over the NCC mode (paper Lemma B.2, from Augustine et
+// al. [2]): compute an aggregate-distributive function of one value per node
+// and make the result known to every node in O(log n) rounds.
+//
+// Implementation: convergecast up a static binary tree over node IDs
+// (parent(v) = (v−1)/2), then broadcast down. Each node sends at most one
+// message per round, well within the γ cap.
+#pragma once
+
+#include <vector>
+
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+enum class agg_op { max, min, sum, logical_and };
+
+/// Returns the aggregate; after the call every node knows it.
+/// For logical_and, nonzero values count as true.
+u64 global_aggregate(hybrid_net& net, agg_op op,
+                     const std::vector<u64>& values);
+
+/// Round cost of one aggregation at network size n (2·tree-depth + 1).
+u32 aggregation_rounds(u32 n);
+
+}  // namespace hybrid

@@ -1,0 +1,103 @@
+#include "proto/clustering.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "proto/aggregation.hpp"
+#include "proto/flood.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+cluster_decomposition compute_clusters(hybrid_net& net,
+                                       const ruling_set_result& rs) {
+  const u32 n = net.n();
+  cluster_decomposition cd;
+  cd.rulers = rs.rulers;
+  cd.beta = rs.beta;
+  cd.cluster_of.assign(n, ~u32{0});
+  cd.hops_to_ruler.assign(n, ~u32{0});
+  cd.members.resize(rs.rulers.size());
+
+  const auto heard = hop_discovery(net, rs.rulers, rs.beta,
+                                   /*early_exit=*/true);
+  for (u32 v = 0; v < n; ++v) {
+    u32 best_cluster = ~u32{0};
+    u32 best_hop = ~u32{0};
+    for (const discovered_seed& d : heard[v]) {
+      const u32 c = d.seed;
+      // hop_discovery reports ascending hop; ties resolve to the smaller
+      // ruler ID because rulers are sorted and we compare explicitly.
+      if (d.hop < best_hop ||
+          (d.hop == best_hop && rs.rulers[c] < rs.rulers[best_cluster])) {
+        best_hop = d.hop;
+        best_cluster = c;
+      }
+    }
+    HYB_INVARIANT(best_cluster != ~u32{0},
+                  "ruling set domination radius violated: node saw no ruler");
+    cd.cluster_of[v] = best_cluster;
+    cd.hops_to_ruler[v] = best_hop;
+    cd.members[best_cluster].push_back(v);
+    cd.max_radius = std::max(cd.max_radius, best_hop);
+  }
+  // Make max_radius common knowledge (one max-aggregation, Lemma B.2).
+  const u64 agg =
+      global_aggregate(net, agg_op::max,
+                       std::vector<u64>(cd.hops_to_ruler.begin(),
+                                        cd.hops_to_ruler.end()));
+  HYB_INVARIANT(agg == cd.max_radius, "radius aggregation mismatch");
+  return cd;
+}
+
+std::vector<std::vector<item128>> cluster_flood(
+    hybrid_net& net, const cluster_decomposition& cd,
+    std::vector<std::vector<item128>> initial, u32 rounds) {
+  const graph& g = net.g();
+  const u32 n = g.num_nodes();
+  HYB_REQUIRE(initial.size() == n, "initial items must cover every node");
+
+  std::vector<std::unordered_set<item128, item128_hash>> seen(n);
+  std::vector<std::vector<item128>> known(n);
+  std::vector<std::vector<item128>> frontier(n);
+  for (u32 v = 0; v < n; ++v) {
+    for (const item128& it : initial[v]) {
+      if (seen[v].insert(it).second) {
+        known[v].push_back(it);
+        frontier[v].push_back(it);
+      }
+    }
+  }
+  for (u32 r = 0; r < rounds; ++r) {
+    std::vector<std::vector<item128>> next(n);
+    u64 items = 0;
+    bool any = false;
+    for (u32 v = 0; v < n; ++v) {
+      if (frontier[v].empty()) continue;
+      for (const edge& e : g.neighbors(v)) {
+        if (cd.cluster_of[e.to] != cd.cluster_of[v]) continue;
+        items += frontier[v].size();
+        for (const item128& it : frontier[v]) {
+          if (seen[e.to].insert(it).second) {
+            known[e.to].push_back(it);
+            next[e.to].push_back(it);
+            any = true;
+          }
+        }
+      }
+    }
+    net.charge_local(items);
+    net.advance_round();
+    frontier = std::move(next);
+    if (!any) {
+      // Saturated early: detecting that globally costs one aggregation.
+      for (u32 extra = aggregation_rounds(n); extra > 0 && r + 1 < rounds;
+           --extra)
+        net.advance_round();
+      break;
+    }
+  }
+  return known;
+}
+
+}  // namespace hybrid

@@ -1,0 +1,160 @@
+#include "proto/dissemination.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "proto/aggregation.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+namespace {
+constexpr u32 kTokenTag = 0xD155;
+
+struct node_state {
+  std::vector<u32> known;      // token indices in arrival order
+  std::vector<u64> known_bit;  // bitset over token indices
+  std::vector<u32> fresh;      // learned since last local flood
+  // Seeding queue: (token index, copies still to send).
+  std::vector<std::pair<u32, u32>> seed_queue;
+
+  bool knows(u32 idx) const {
+    return (known_bit[idx / 64] >> (idx % 64)) & 1;
+  }
+  void learn(u32 idx) {
+    known_bit[idx / 64] |= u64{1} << (idx % 64);
+    known.push_back(idx);
+    fresh.push_back(idx);
+  }
+};
+
+}  // namespace
+
+dissemination_result disseminate(hybrid_net& net,
+                                 std::vector<std::vector<token2>> initial) {
+  const graph& g = net.g();
+  const u32 n = g.num_nodes();
+  HYB_REQUIRE(initial.size() == n, "initial tokens must cover every node");
+
+  // Global enumeration of tokens (simulator bookkeeping; nodes address
+  // tokens by this index, which rides inside the O(log n)-bit message).
+  std::vector<token2> tokens;
+  std::vector<std::vector<u32>> owned(n);
+  u64 ell = 0;
+  for (u32 v = 0; v < n; ++v) {
+    for (const token2& t : initial[v]) {
+      owned[v].push_back(static_cast<u32>(tokens.size()));
+      tokens.push_back(t);
+    }
+    ell = std::max<u64>(ell, initial[v].size());
+  }
+  const u32 k = static_cast<u32>(tokens.size());
+
+  const u64 start_round = net.round();
+  // Make k known (the protocols downstream need it for termination checks).
+  std::vector<u64> counts(n);
+  for (u32 v = 0; v < n; ++v) counts[v] = owned[v].size();
+  const u64 k_agg = global_aggregate(net, agg_op::sum, counts);
+  HYB_INVARIANT(k_agg == k, "token count aggregation mismatch");
+
+  dissemination_result out;
+  out.tokens = tokens;
+  if (k == 0) {
+    out.rounds_used = net.round() - start_round;
+    return out;
+  }
+
+  const u32 logn = id_bits(n);
+  const u32 seed_copies = std::max<u32>(
+      1, static_cast<u32>(
+             std::ceil(net.config().dissemination_seed_mult * logn)));
+  const u32 words = (k + 63) / 64;
+
+  std::vector<node_state> st(n);
+  for (u32 v = 0; v < n; ++v) {
+    st[v].known_bit.assign(words, 0);
+    for (u32 idx : owned[v]) {
+      st[v].learn(idx);
+      st[v].seed_queue.push_back({idx, seed_copies});
+    }
+  }
+
+  auto all_done = [&]() {
+    for (u32 v = 0; v < n; ++v)
+      if (st[v].known.size() != k || !st[v].seed_queue.empty()) return false;
+    return true;
+  };
+
+  const u32 cadence = 16;  // gossip rounds between termination checks
+  u64 budget = 4 * (isqrt(k) + ceil_div(ell * seed_copies, net.global_cap())) +
+               cadence;
+  bool done = false;
+  while (!done) {
+    for (u64 r = 0; r < budget && !done; ++r) {
+      // Global pushes: seeding first, then uniform random gossip.
+      for (u32 v = 0; v < n; ++v) {
+        rng& rv = net.node_rng(v);
+        while (!st[v].seed_queue.empty() && net.global_budget(v) > 0) {
+          auto& [idx, left] = st[v].seed_queue.back();
+          const u32 dst = static_cast<u32>(rv.next_below(n));
+          const token2& t = tokens[idx];
+          net.try_send_global(
+              global_msg::make(v, dst, kTokenTag, {t.a, t.b, idx}));
+          if (--left == 0) st[v].seed_queue.pop_back();
+        }
+        while (!st[v].known.empty() && net.global_budget(v) > 0) {
+          const u32 idx = st[v].known[rv.next_below(st[v].known.size())];
+          const u32 dst = static_cast<u32>(rv.next_below(n));
+          const token2& t = tokens[idx];
+          net.try_send_global(
+              global_msg::make(v, dst, kTokenTag, {t.a, t.b, idx}));
+        }
+      }
+      // Local flooding of everything learned since the last round.
+      u64 items = 0;
+      std::vector<std::vector<u32>> inject(n);
+      for (u32 v = 0; v < n; ++v) {
+        if (st[v].fresh.empty()) continue;
+        for (const edge& e : g.neighbors(v)) {
+          items += st[v].fresh.size();
+          for (u32 idx : st[v].fresh)
+            if (!st[e.to].knows(idx)) inject[e.to].push_back(idx);
+        }
+        st[v].fresh.clear();
+      }
+      net.charge_local(items);
+      net.advance_round();
+      for (u32 v = 0; v < n; ++v)
+        for (u32 idx : inject[v])
+          if (!st[v].knows(idx)) st[v].learn(idx);
+      for (u32 v = 0; v < n; ++v)
+        for (const global_msg& m : net.global_inbox(v)) {
+          if (m.tag != kTokenTag) continue;
+          const u32 idx = static_cast<u32>(m.w[2]);
+          if (!st[v].knows(idx)) st[v].learn(idx);
+        }
+      // Termination check at fixed cadence (aggregation rounds are charged
+      // by global_aggregate itself).
+      if ((r + 1) % cadence == 0) {
+        std::vector<u64> flags(n);
+        for (u32 v = 0; v < n; ++v)
+          flags[v] =
+              (st[v].known.size() == k && st[v].seed_queue.empty()) ? 1 : 0;
+        done = global_aggregate(net, agg_op::logical_and, flags) == 1;
+      }
+    }
+    if (!done) {
+      std::vector<u64> flags(n);
+      for (u32 v = 0; v < n; ++v)
+        flags[v] =
+            (st[v].known.size() == k && st[v].seed_queue.empty()) ? 1 : 0;
+      done = global_aggregate(net, agg_op::logical_and, flags) == 1;
+      budget *= 2;
+    }
+  }
+  HYB_INVARIANT(all_done(), "dissemination terminated before completion");
+  out.rounds_used = net.round() - start_round;
+  return out;
+}
+
+}  // namespace hybrid

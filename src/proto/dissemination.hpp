@@ -1,0 +1,45 @@
+// Token dissemination (paper Lemma B.1 = Theorem 2.1 of Augustine et al.
+// SODA'20): k tokens of O(log n) bits, at most ℓ per node, are made known to
+// every node in Õ(√k + ℓ) rounds of the HYBRID model.
+//
+// Protocol (same mechanism as [3], see DESIGN.md §4):
+//   0. a sum-aggregation makes k known to all nodes;
+//   1. seeding — every owner pushes each of its tokens to Θ(log n) uniformly
+//      random nodes (priority traffic within the γ budget);
+//   2. gossip — each round every node sends γ uniformly random tokens it
+//      knows to uniformly random nodes, and floods newly learned tokens to
+//      its local neighbors;
+//   3. termination — an AND-aggregation ("I know all k tokens and my seed
+//      queue is empty") runs at a fixed cadence; the gossip budget doubles
+//      until the aggregate is true, so the measured round count is honest.
+//
+// The Õ(√k) mechanism: any radius-√k neighborhood of a connected graph has
+// ≥ √k nodes, which jointly receive Θ(√k·log n) random tokens per round and
+// share them by flooding; coupon-collection over k tokens finishes after
+// Õ(√k) rounds.
+#pragma once
+
+#include <vector>
+
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct token2 {
+  u64 a = 0;
+  u64 b = 0;
+  friend bool operator==(const token2&, const token2&) = default;
+};
+
+struct dissemination_result {
+  /// All k tokens; after the protocol every node knows this entire set
+  /// (storage is shared because the content is identical everywhere).
+  std::vector<token2> tokens;
+  u64 rounds_used = 0;
+};
+
+/// Disseminate; `initial[v]` are the tokens node v starts with.
+dissemination_result disseminate(hybrid_net& net,
+                                 std::vector<std::vector<token2>> initial);
+
+}  // namespace hybrid

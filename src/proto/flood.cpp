@@ -1,0 +1,286 @@
+#include "proto/flood.hpp"
+
+#include <algorithm>
+
+#include "proto/aggregation.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+std::vector<std::vector<discovered_seed>> hop_discovery(
+    hybrid_net& net, const std::vector<u32>& seeds, u32 rounds,
+    bool early_exit) {
+  const graph& g = net.g();
+  const u32 n = g.num_nodes();
+  std::vector<std::vector<discovered_seed>> known(n);
+  // frontier[v] = seed indices first learned by v in the previous round.
+  std::vector<std::vector<u32>> frontier(n);
+  std::vector<std::vector<char>> seen(n);
+  for (u32 v = 0; v < n; ++v) seen[v].assign(seeds.size(), 0);
+  for (u32 i = 0; i < seeds.size(); ++i) {
+    HYB_REQUIRE(seeds[i] < n, "seed out of range");
+    if (!seen[seeds[i]][i]) {
+      seen[seeds[i]][i] = 1;
+      known[seeds[i]].push_back({i, 0});
+      frontier[seeds[i]].push_back(i);
+    }
+  }
+  for (u32 r = 1; r <= rounds; ++r) {
+    std::vector<std::vector<u32>> next(n);
+    u64 items = 0;
+    for (u32 v = 0; v < n; ++v) {
+      if (frontier[v].empty()) continue;
+      for (const edge& e : g.neighbors(v)) {
+        items += frontier[v].size();
+        for (u32 i : frontier[v]) {
+          if (!seen[e.to][i]) {
+            seen[e.to][i] = 1;
+            known[e.to].push_back({i, r});
+            next[e.to].push_back(i);
+          }
+        }
+      }
+    }
+    net.charge_local(items);
+    net.advance_round();
+    frontier = std::move(next);
+    bool any = false;
+    for (const auto& f : frontier) any |= !f.empty();
+    if (!any && r < rounds) {
+      if (early_exit) {
+        // Detecting global saturation costs one AND-aggregation.
+        for (u32 extra = aggregation_rounds(n); extra > 0; --extra)
+          net.advance_round();
+      } else {
+        // Fixed round budgets are part of the protocols: the remaining
+        // rounds are silent but still elapse.
+        for (u32 rest = r + 1; rest <= rounds; ++rest) net.advance_round();
+      }
+      break;
+    }
+  }
+  return known;
+}
+
+std::vector<std::vector<source_distance>> limited_bellman_ford(
+    hybrid_net& net, const std::vector<u32>& sources, u32 h,
+    bool advance_rounds) {
+  const graph& g = net.g();
+  const u32 n = g.num_nodes();
+  const u32 s_count = static_cast<u32>(sources.size());
+  // dist[v] is v's current vector of limited distances (kInfDist = unknown);
+  // via[v] the neighbor the best value arrived through.
+  std::vector<std::vector<u64>> dist(n);
+  std::vector<std::vector<u32>> via(n);
+  for (u32 v = 0; v < n; ++v) {
+    dist[v].assign(s_count, kInfDist);
+    via[v].assign(s_count, ~u32{0});
+  }
+  // Frontier entries carry the value as of the round they were produced, so
+  // one synchronous round advances a value exactly one hop (the hop budget
+  // is what makes d_h well-defined).
+  std::vector<std::vector<source_distance>> frontier(n);
+  for (u32 i = 0; i < s_count; ++i) {
+    HYB_REQUIRE(sources[i] < n, "source out of range");
+    if (dist[sources[i]][i] != 0) {
+      dist[sources[i]][i] = 0;
+      via[sources[i]][i] = sources[i];
+      frontier[sources[i]].push_back({i, 0, sources[i]});
+    }
+  }
+  for (u32 r = 0; r < h; ++r) {
+    std::vector<std::vector<source_distance>> next(n);
+    u64 items = 0;
+    bool any = false;
+    for (u32 v = 0; v < n; ++v) {
+      if (frontier[v].empty()) continue;
+      for (const edge& e : g.neighbors(v)) {
+        items += frontier[v].size();
+        for (const source_distance& f : frontier[v]) {
+          const u64 nd = f.dist + e.weight;
+          if (nd < dist[e.to][f.source]) {
+            dist[e.to][f.source] = nd;
+            via[e.to][f.source] = v;
+            next[e.to].push_back({f.source, nd, v});
+            any = true;
+          }
+        }
+      }
+    }
+    net.charge_local(items);
+    if (advance_rounds) net.advance_round();
+    // Drop superseded frontier entries (a later, smaller update for the
+    // same source makes earlier queued ones redundant).
+    for (u32 v = 0; v < n; ++v) {
+      auto& f = next[v];
+      f.erase(std::remove_if(f.begin(), f.end(),
+                             [&](const source_distance& sd) {
+                               return sd.dist != dist[v][sd.source];
+                             }),
+              f.end());
+    }
+    frontier = std::move(next);
+    if (!any) {
+      if (advance_rounds)
+        for (u32 rest = r + 1; rest < h; ++rest) net.advance_round();
+      break;
+    }
+  }
+  std::vector<std::vector<source_distance>> out(n);
+  for (u32 v = 0; v < n; ++v)
+    for (u32 i = 0; i < s_count; ++i)
+      if (dist[v][i] != kInfDist)
+        out[v].push_back({i, dist[v][i], via[v][i]});
+  return out;
+}
+
+std::vector<std::vector<u64>> full_local_exploration(
+    hybrid_net& net, u32 h, bool advance_rounds,
+    std::vector<std::vector<u32>>* first_hop) {
+  const graph& g = net.g();
+  const u32 n = g.num_nodes();
+  std::vector<std::vector<u64>> dist(n);
+  if (first_hop) first_hop->assign(n, std::vector<u32>(n, ~u32{0}));
+  // As in limited_bellman_ford, frontier entries carry the value of the
+  // producing round so information moves one hop per round.
+  std::vector<std::vector<source_distance>> frontier(n);
+  for (u32 v = 0; v < n; ++v) {
+    dist[v].assign(n, kInfDist);
+    dist[v][v] = 0;
+    if (first_hop) (*first_hop)[v][v] = v;
+    frontier[v].push_back({v, 0, v});
+  }
+  for (u32 r = 0; r < h; ++r) {
+    std::vector<std::vector<source_distance>> next(n);
+    u64 items = 0;
+    bool any = false;
+    for (u32 v = 0; v < n; ++v) {
+      if (frontier[v].empty()) continue;
+      for (const edge& e : g.neighbors(v)) {
+        items += frontier[v].size();
+        for (const source_distance& f : frontier[v]) {
+          const u64 nd = f.dist + e.weight;
+          if (nd < dist[e.to][f.source]) {
+            dist[e.to][f.source] = nd;
+            if (first_hop) (*first_hop)[e.to][f.source] = v;
+            next[e.to].push_back({f.source, nd, v});
+            any = true;
+          }
+        }
+      }
+    }
+    net.charge_local(items);
+    if (advance_rounds) net.advance_round();
+    for (u32 v = 0; v < n; ++v) {
+      auto& f = next[v];
+      f.erase(std::remove_if(f.begin(), f.end(),
+                             [&](const source_distance& sd) {
+                               return sd.dist != dist[v][sd.source];
+                             }),
+              f.end());
+    }
+    frontier = std::move(next);
+    if (!any) {
+      if (advance_rounds)
+        for (u32 rest = r + 1; rest < h; ++rest) net.advance_round();
+      break;
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<u32>> table_flood(hybrid_net& net,
+                                          const std::vector<u32>& publishers,
+                                          const std::vector<u64>& table_words,
+                                          u32 rounds) {
+  HYB_REQUIRE(publishers.size() == table_words.size(),
+              "each publisher needs a table size");
+  const graph& g = net.g();
+  const u32 n = g.num_nodes();
+  std::vector<std::vector<u32>> holds(n);
+  std::vector<std::vector<u32>> frontier(n);
+  std::vector<std::vector<char>> seen(n);
+  for (u32 v = 0; v < n; ++v) seen[v].assign(publishers.size(), 0);
+  for (u32 i = 0; i < publishers.size(); ++i) {
+    const u32 p = publishers[i];
+    HYB_REQUIRE(p < n, "publisher out of range");
+    if (!seen[p][i]) {
+      seen[p][i] = 1;
+      holds[p].push_back(i);
+      frontier[p].push_back(i);
+    }
+  }
+  for (u32 r = 1; r <= rounds; ++r) {
+    std::vector<std::vector<u32>> next(n);
+    u64 items = 0;
+    for (u32 v = 0; v < n; ++v) {
+      if (frontier[v].empty()) continue;
+      for (const edge& e : g.neighbors(v)) {
+        for (u32 i : frontier[v]) {
+          items += table_words[i];  // whole table crosses the edge
+          if (!seen[e.to][i]) {
+            seen[e.to][i] = 1;
+            holds[e.to].push_back(i);
+            next[e.to].push_back(i);
+          }
+        }
+      }
+    }
+    net.charge_local(items);
+    net.advance_round();
+    frontier = std::move(next);
+    bool any = false;
+    for (const auto& f : frontier) any |= !f.empty();
+    if (!any && r < rounds) {
+      for (u32 rest = r + 1; rest <= rounds; ++rest) net.advance_round();
+      break;
+    }
+  }
+  return holds;
+}
+
+std::vector<u32> truncated_eccentricity(hybrid_net& net, u32 rounds) {
+  // Bitset-based all-sources hello flood: O(n²/8) memory instead of storing
+  // (seed, hop) lists per node.
+  const graph& g = net.g();
+  const u32 n = g.num_nodes();
+  const u32 words = (n + 63) / 64;
+  std::vector<std::vector<u64>> seen(n, std::vector<u64>(words, 0));
+  std::vector<std::vector<u32>> frontier(n);
+  std::vector<u32> ecc(n, 0);
+  for (u32 v = 0; v < n; ++v) {
+    seen[v][v / 64] |= u64{1} << (v % 64);
+    frontier[v].push_back(v);
+  }
+  for (u32 r = 1; r <= rounds; ++r) {
+    std::vector<std::vector<u32>> next(n);
+    u64 items = 0;
+    for (u32 v = 0; v < n; ++v) {
+      if (frontier[v].empty()) continue;
+      for (const edge& e : g.neighbors(v)) {
+        items += frontier[v].size();
+        for (u32 id : frontier[v]) {
+          u64& word = seen[e.to][id / 64];
+          const u64 bit = u64{1} << (id % 64);
+          if (!(word & bit)) {
+            word |= bit;
+            ecc[e.to] = r;
+            next[e.to].push_back(id);
+          }
+        }
+      }
+    }
+    net.charge_local(items);
+    net.advance_round();
+    frontier = std::move(next);
+    bool any = false;
+    for (const auto& f : frontier) any |= !f.empty();
+    if (!any && r < rounds) {
+      for (u32 rest = r + 1; rest <= rounds; ++rest) net.advance_round();
+      break;
+    }
+  }
+  return ecc;
+}
+
+}  // namespace hybrid

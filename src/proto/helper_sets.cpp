@@ -1,0 +1,86 @@
+#include "proto/helper_sets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "proto/ruling_set.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+u32 helper_mu(u64 k, double p) {
+  HYB_REQUIRE(p > 0.0 && p <= 1.0, "sampling probability in (0,1]");
+  const double cap = 1.0 / p;
+  const double root = std::sqrt(static_cast<double>(k));
+  const double mu = std::floor(std::min(root, cap));
+  return std::max<u32>(1, static_cast<u32>(mu));
+}
+
+helper_family compute_helpers(hybrid_net& net, const std::vector<u32>& w_set,
+                              u32 mu) {
+  const u32 n = net.n();
+  helper_family fam;
+  fam.mu = mu;
+  fam.helpers_of.resize(w_set.size());
+  fam.helps.resize(n);
+
+  if (mu <= 1) {
+    for (u32 i = 0; i < w_set.size(); ++i) {
+      HYB_REQUIRE(w_set[i] < n, "W member out of range");
+      fam.helpers_of[i] = {w_set[i]};
+      fam.helps[w_set[i]].push_back(i);
+    }
+    return fam;
+  }
+
+  // Ruling set + clustering (Algorithm 1, first half).
+  const ruling_set_result rs = compute_ruling_set(net, mu);
+  fam.clusters = compute_clusters(net, rs);
+  const cluster_decomposition& cd = fam.clusters;
+
+  // Every node learns the W-members and size of its own cluster: flood
+  // (node, in_W) records inside clusters for 2β+1 rounds (Algorithm 1's
+  // "learn all members of C_r" loop).
+  std::vector<u32> w_index_of(n, ~u32{0});
+  for (u32 i = 0; i < w_set.size(); ++i) {
+    HYB_REQUIRE(w_set[i] < n, "W member out of range");
+    w_index_of[w_set[i]] = i;
+  }
+  std::vector<std::vector<item128>> init(n);
+  for (u32 v = 0; v < n; ++v)
+    init[v].push_back(
+        {(u64{v} << 1) | (w_index_of[v] != ~u32{0} ? 1 : 0), 0});
+  const auto heard =
+      cluster_flood(net, cd, std::move(init), cd.flood_budget());
+
+  // Join decisions (Algorithm 1, last loop).
+  const double q_mult = net.config().helper_q_mult;
+  for (u32 v = 0; v < n; ++v) {
+    const u64 cluster_size = heard[v].size();
+    HYB_INVARIANT(cluster_size >= 1, "node did not hear itself");
+    const double q =
+        std::min(q_mult * mu / static_cast<double>(cluster_size), 1.0);
+    rng& rv = net.node_rng(v);
+    for (const item128& it : heard[v]) {
+      if ((it.a & 1) == 0) continue;  // not a W member
+      const u32 w_node = static_cast<u32>(it.a >> 1);
+      const u32 wi = w_index_of[w_node];
+      if (w_node == v || rv.next_bool(q)) {
+        fam.helpers_of[wi].push_back(v);
+        fam.helps[v].push_back(wi);
+      }
+    }
+  }
+  for (auto& hs : fam.helpers_of) std::sort(hs.begin(), hs.end());
+
+  // One more intra-cluster flood so each w ∈ W learns its helper set
+  // (first loop of Algorithm 3); helpers announce (helper, w).
+  std::vector<std::vector<item128>> ann(n);
+  for (u32 v = 0; v < n; ++v)
+    for (u32 wi : fam.helps[v])
+      ann[v].push_back({(u64{v} << 32) | w_set[wi], 1});
+  cluster_flood(net, cd, std::move(ann), cd.flood_budget());
+  return fam;
+}
+
+}  // namespace hybrid

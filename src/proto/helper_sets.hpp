@@ -1,0 +1,40 @@
+// Helper sets (paper Definition 2.1, Algorithm 1, Lemma 2.2).
+//
+// Given a well-spread set W ⊆ V and a parameter µ, every w ∈ W is assigned a
+// set H_w of ≥ µ helpers within Õ(µ) hops such that no node helps more than
+// Õ(1) members of W. Construction: a (2µ+1, 2µ⌈log n⌉)-ruling set induces a
+// cluster decomposition with clusters of ≥ µ+1 nodes and diameter O(µ log n);
+// inside its cluster every node joins H_w with probability
+// q = min(helper_q_mult·µ/|C|, 1). We additionally always put w into H_w so
+// that token routing stays correct even if the random size bound fails
+// (performance, not correctness, is the probabilistic part — see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "proto/clustering.hpp"
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct helper_family {
+  u32 mu = 1;
+  /// helpers_of[i] — sorted helper node IDs of W[i] (always contains W[i]).
+  std::vector<std::vector<u32>> helpers_of;
+  /// helps[v] — indices into W this node helps.
+  std::vector<std::vector<u32>> helps;
+  /// Cluster decomposition reused for intra-cluster communication; empty
+  /// (rulers empty) when µ = 1 and the machinery was skipped.
+  cluster_decomposition clusters;
+
+  bool trivial() const { return mu <= 1; }
+};
+
+/// Algorithm 1. µ = 1 short-circuits to H_w = {w} at zero round cost.
+helper_family compute_helpers(hybrid_net& net, const std::vector<u32>& w_set,
+                              u32 mu);
+
+/// µ = ⌊min(√k, 1/p)⌋ as used by Algorithm 2 (at least 1).
+u32 helper_mu(u64 k, double p);
+
+}  // namespace hybrid

@@ -1,0 +1,48 @@
+#include "proto/representatives.hpp"
+
+#include "proto/dissemination.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+representatives_result compute_representatives(
+    hybrid_net& net, const skeleton_result& sk,
+    const std::vector<u32>& sources) {
+  const u32 n = net.n();
+  representatives_result out;
+  out.rep_of.resize(sources.size());
+  out.dist_to_rep.resize(sources.size());
+
+  std::vector<std::vector<token2>> initial(n);
+  for (u32 j = 0; j < sources.size(); ++j) {
+    const u32 s = sources[j];
+    HYB_REQUIRE(s < n, "source out of range");
+    if (sk.is_skeleton(s)) {
+      out.rep_of[j] = sk.index_of[s];
+      out.dist_to_rep[j] = 0;
+    } else {
+      u32 best = skeleton_result::npos;
+      u64 best_d = kInfDist;
+      for (const source_distance& sd : sk.near[s]) {
+        if (sd.dist < best_d ||
+            (sd.dist == best_d && sd.source < best)) {
+          best = sd.source;
+          best_d = sd.dist;
+        }
+      }
+      HYB_INVARIANT(best != skeleton_result::npos,
+                    "source has no skeleton node within h hops "
+                    "(Lemma C.1 event failed; raise skeleton_xi)");
+      out.rep_of[j] = best;
+      out.dist_to_rep[j] = best_d;
+    }
+    // Token ⟨d_h(s, r_s), ID(s), ID(r_s)⟩ (Algorithm 7).
+    initial[s].push_back(
+        {(u64{s} << 32) | sk.nodes[out.rep_of[j]], out.dist_to_rep[j]});
+  }
+  // Make all representative pairs public knowledge.
+  disseminate(net, std::move(initial));
+  return out;
+}
+
+}  // namespace hybrid

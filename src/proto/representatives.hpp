@@ -1,0 +1,31 @@
+// Source representatives (paper Algorithm 7, Fact 4.4).
+//
+// A source s of the k-SSP instance that was not sampled into the skeleton
+// tags its closest skeleton node r_s (by h-hop-limited distance) as its
+// representative; the pairs ⟨d_h(s, r_s), s, r_s⟩ are made public with token
+// dissemination so that every node can later add the s↔r_s leg back onto
+// distances computed on the skeleton.
+#pragma once
+
+#include <vector>
+
+#include "proto/skeleton.hpp"
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct representatives_result {
+  /// Per source (aligned with the sources argument): skeleton index of the
+  /// representative and d_h(source, representative) (0 if the source is
+  /// itself a skeleton node).
+  std::vector<u32> rep_of;
+  std::vector<u64> dist_to_rep;
+};
+
+/// Requires every source to have a skeleton node within h hops (holds w.h.p.
+/// by Lemma C.1; violated only if the ξ constant is set too small).
+representatives_result compute_representatives(
+    hybrid_net& net, const skeleton_result& sk,
+    const std::vector<u32>& sources);
+
+}  // namespace hybrid

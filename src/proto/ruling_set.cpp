@@ -1,0 +1,49 @@
+#include "proto/ruling_set.hpp"
+
+#include <algorithm>
+
+#include "proto/flood.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+ruling_set_result compute_ruling_set(hybrid_net& net, u32 mu) {
+  HYB_REQUIRE(mu >= 1, "ruling set parameter µ must be >= 1");
+  const u32 n = net.n();
+  const u32 levels = id_bits(n);
+  const u32 alpha = 2 * mu + 1;
+
+  std::vector<char> candidate(n, 1);
+  for (u32 level = 0; level < levels; ++level) {
+    // Only candidates with bit `level` = 0 can knock others out; flooding
+    // all current candidates keeps the code simple (listeners filter) and
+    // uses the same 2µ rounds.
+    std::vector<u32> current;
+    for (u32 v = 0; v < n; ++v)
+      if (candidate[v]) current.push_back(v);
+    const auto heard =
+        hop_discovery(net, current, alpha - 1, /*early_exit=*/true);
+    for (u32 v = 0; v < n; ++v) {
+      if (!candidate[v] || ((v >> level) & 1u) == 0) continue;
+      const u64 my_block = v >> (level + 1);
+      for (const discovered_seed& d : heard[v]) {
+        const u32 u = current[d.seed];
+        if (u == v) continue;
+        if (((u >> level) & 1u) == 0 && (u >> (level + 1)) == my_block) {
+          candidate[v] = 0;  // a 0-side candidate of my block is too close
+          break;
+        }
+      }
+    }
+  }
+
+  ruling_set_result out;
+  out.alpha = alpha;
+  out.beta = 2 * mu * levels;
+  for (u32 v = 0; v < n; ++v)
+    if (candidate[v]) out.rulers.push_back(v);
+  HYB_INVARIANT(!out.rulers.empty(), "ruling set cannot be empty");
+  return out;
+}
+
+}  // namespace hybrid

@@ -1,0 +1,28 @@
+// Deterministic ruling sets in the local network (paper Lemma 2.1).
+//
+// The paper cites Kuhn–Maus–Weidner [22] / Awerbuch et al. [4] for a
+// (2µ+1, 2µ⌈log n⌉)-ruling set in O(µ log n) LOCAL rounds. We implement the
+// classical AGLP bit-merge construction: process ID bits from least to most
+// significant; at level ℓ the two halves of every ID block merge, and a
+// candidate whose bit ℓ is 1 survives only if no candidate with bit ℓ = 0 in
+// the same block is within 2µ hops. This yields pairwise hop distance
+// ≥ α = 2µ+1 and domination radius ≤ 2µ·⌈log n⌉ in exactly 2µ·⌈log n⌉
+// flooding rounds.
+#pragma once
+
+#include <vector>
+
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct ruling_set_result {
+  std::vector<u32> rulers;  ///< sorted node IDs
+  u32 alpha = 0;            ///< min pairwise hop distance guarantee (2µ+1)
+  u32 beta = 0;             ///< domination radius guarantee (2µ·⌈log n⌉)
+};
+
+/// Compute a (2µ+1, 2µ⌈log n⌉)-ruling set of the whole node set.
+ruling_set_result compute_ruling_set(hybrid_net& net, u32 mu);
+
+}  // namespace hybrid

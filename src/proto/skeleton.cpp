@@ -1,0 +1,90 @@
+#include "proto/skeleton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+skeleton_result compute_skeleton(hybrid_net& net, double sample_prob,
+                                 const std::vector<u32>& forced) {
+  HYB_REQUIRE(sample_prob > 0.0 && sample_prob <= 1.0,
+              "sampling probability in (0,1]");
+  const u32 n = net.n();
+  skeleton_result sk;
+  sk.sample_prob = sample_prob;
+  sk.index_of.assign(n, skeleton_result::npos);
+
+  std::vector<char> in(n, 0);
+  for (u32 v = 0; v < n; ++v)
+    if (net.node_rng(v).next_bool(sample_prob)) in[v] = 1;
+  for (u32 v : forced) {
+    HYB_REQUIRE(v < n, "forced node out of range");
+    in[v] = 1;
+  }
+  for (u32 v = 0; v < n; ++v)
+    if (in[v]) {
+      sk.index_of[v] = static_cast<u32>(sk.nodes.size());
+      sk.nodes.push_back(v);
+    }
+  HYB_INVARIANT(!sk.nodes.empty(),
+                "skeleton sampling produced no nodes; raise p or n");
+
+  sk.h = std::max<u32>(
+      1, static_cast<u32>(std::ceil(net.config().skeleton_xi *
+                                    (1.0 / sample_prob) * std::log(n))));
+
+  // h rounds of limited Bellman–Ford from all skeleton nodes; every node
+  // learns d_h to nearby skeletons, skeleton nodes derive their incident
+  // skeleton edges.
+  sk.near = limited_bellman_ford(net, sk.nodes, sk.h, /*advance_rounds=*/true);
+  sk.edges.resize(sk.nodes.size());
+  for (u32 i = 0; i < sk.nodes.size(); ++i) {
+    for (const source_distance& sd : sk.near[sk.nodes[i]]) {
+      if (sd.source == i) continue;
+      sk.edges[i].push_back({sd.source, sd.dist});
+    }
+  }
+  return sk;
+}
+
+namespace {
+
+std::vector<u64> dijkstra_on_skeleton(
+    const std::vector<std::vector<std::pair<u32, u64>>>& edges, u32 src) {
+  std::vector<u64> dist(edges.size(), kInfDist);
+  using item = std::pair<u64, u32>;
+  std::priority_queue<item, std::vector<item>, std::greater<>> pq;
+  dist[src] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;
+    for (const auto& [to, w] : edges[v]) {
+      if (d + w < dist[to]) {
+        dist[to] = d + w;
+        pq.push({d + w, to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::vector<u64>> skeleton_apsp(const skeleton_result& sk) {
+  std::vector<std::vector<u64>> out(sk.nodes.size());
+  for (u32 i = 0; i < sk.nodes.size(); ++i)
+    out[i] = dijkstra_on_skeleton(sk.edges, i);
+  return out;
+}
+
+std::vector<u64> skeleton_sssp(const skeleton_result& sk, u32 src) {
+  HYB_REQUIRE(src < sk.nodes.size(), "skeleton index out of range");
+  return dijkstra_on_skeleton(sk.edges, src);
+}
+
+}  // namespace hybrid

@@ -1,0 +1,50 @@
+// Skeleton graphs (paper Appendix C, Algorithm 6).
+//
+// V_S ⊆ V is sampled with probability p; skeleton edges connect sampled
+// nodes within h = ⌈ξ·(1/p)·ln n⌉ hops and carry weight d_h(u, v). By
+// Lemma C.1 every shortest path of G has a skeleton node at least every h
+// hops w.h.p., so the skeleton preserves distances between its nodes
+// (Lemma C.2) and every node has a skeleton node within h hops.
+//
+// The h rounds of limited Bellman–Ford also give every node v its h-hop
+// distances d_h(v, s) to all nearby skeleton nodes — the "local exploration"
+// every algorithm in Sections 3–5 builds on.
+#pragma once
+
+#include <vector>
+
+#include "proto/flood.hpp"
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct skeleton_result {
+  std::vector<u32> nodes;     ///< V_S, sorted node IDs
+  std::vector<u32> index_of;  ///< node ID → skeleton index, or npos
+  static constexpr u32 npos = ~u32{0};
+  u32 h = 0;                  ///< hop budget used
+  double sample_prob = 0.0;
+
+  /// Skeleton adjacency: edges[i] = (other skeleton index, weight d_h).
+  std::vector<std::vector<std::pair<u32, u64>>> edges;
+  /// Per node: (skeleton index, d_h(v, skeleton)) for skeletons within h
+  /// hops, exactly what the h-round exploration teaches v.
+  std::vector<std::vector<source_distance>> near;
+
+  bool is_skeleton(u32 v) const { return index_of[v] != npos; }
+};
+
+/// Algorithm 6. `forced` nodes (e.g. the SSSP source, Lemma 4.5) are always
+/// included. Rounds consumed: h.
+skeleton_result compute_skeleton(hybrid_net& net, double sample_prob,
+                                 const std::vector<u32>& forced = {});
+
+/// Local (free) computation every node can do once the skeleton edge set is
+/// public: all-pairs distances within the skeleton graph. dist[i][j] indexed
+/// by skeleton indices.
+std::vector<std::vector<u64>> skeleton_apsp(const skeleton_result& sk);
+
+/// Single-index variant: distances in S from skeleton index `src`.
+std::vector<u64> skeleton_sssp(const skeleton_result& sk, u32 src);
+
+}  // namespace hybrid

@@ -1,0 +1,275 @@
+#include "proto/token_routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "proto/aggregation.hpp"
+#include "proto/clustering.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+namespace {
+
+constexpr u32 kTokenTag = 0x7071;    // sender-helper → intermediate
+constexpr u32 kRequestTag = 0x7072;  // receiver-helper → intermediate
+constexpr u32 kAnswerTag = 0x7073;   // intermediate → receiver-helper
+constexpr u32 kMaxTokenIndex = 1u << 22;
+
+/// Pack a label (s, r, i) into one word for flooding and messages.
+u64 pack_label(u32 s, u32 r, u32 i) {
+  HYB_REQUIRE(s < (1u << 21) && r < (1u << 21) && i < kMaxTokenIndex,
+              "label component out of packing range");
+  return (u64{s} << 43) | (u64{r} << 22) | i;
+}
+u32 label_s(u64 p) { return static_cast<u32>(p >> 43); }
+u32 label_r(u64 p) { return static_cast<u32>((p >> 22) & ((1u << 21) - 1)); }
+u32 label_i(u64 p) { return static_cast<u32>(p & (kMaxTokenIndex - 1)); }
+
+struct helper_task {
+  u64 label;    // packed (s, r, i)
+  u64 payload;  // valid only on the sender side
+};
+
+/// Canonical balanced share: tasks sorted by label, helper with position
+/// `pos` among `count` takes indices ≡ pos (mod count). Both the owner and
+/// its helpers can compute this locally (Fact 2.4's "balanced assignment").
+void take_share(std::vector<helper_task>& all, u32 pos, u32 count,
+                std::vector<helper_task>& out) {
+  std::sort(all.begin(), all.end(),
+            [](const helper_task& x, const helper_task& y) {
+              return x.label < y.label;
+            });
+  for (u32 j = pos; j < all.size(); j += count) out.push_back(all[j]);
+}
+
+}  // namespace
+
+routing_context build_routing_context(hybrid_net& net, routing_spec spec) {
+  const u64 start = net.round();
+  routing_context ctx;
+  ctx.mu_s = helper_mu(spec.k_s, spec.p_s);
+  ctx.mu_r = helper_mu(spec.k_r, spec.p_r);
+  ctx.spec = std::move(spec);
+  ctx.sender_helpers = compute_helpers(net, ctx.spec.senders, ctx.mu_s);
+  ctx.receiver_helpers = compute_helpers(net, ctx.spec.receivers, ctx.mu_r);
+  // Public hash: the O(log² n)-bit seed comes from the shared randomness
+  // (broadcastable in Õ(1) rounds, Lemma 2.3; we charge one aggregation's
+  // worth of rounds as the broadcast).
+  ctx.hash.emplace(net.hash_independence(), net.public_rng());
+  global_aggregate(net, agg_op::max,
+                   std::vector<u64>(net.n(), ctx.hash->seed_bits()));
+  ctx.setup_rounds = net.round() - start;
+  return ctx;
+}
+
+std::vector<std::vector<routed_token>> route_tokens(
+    hybrid_net& net, routing_context& ctx,
+    const std::vector<std::vector<routed_token>>& by_sender) {
+  const u32 n = net.n();
+  const routing_spec& spec = ctx.spec;
+  HYB_REQUIRE(by_sender.size() == spec.senders.size(),
+              "token batch must align with the sender list");
+
+  std::vector<u32> receiver_pos(n, ~u32{0});
+  for (u32 i = 0; i < spec.receivers.size(); ++i)
+    receiver_pos[spec.receivers[i]] = i;
+
+  std::vector<std::vector<routed_token>> delivered(spec.receivers.size());
+
+  // ---- collect labels; deliver s == r tokens directly --------------------
+  // label lists per sender position / receiver position.
+  std::vector<std::vector<helper_task>> sender_tokens(spec.senders.size());
+  std::vector<std::vector<helper_task>> receiver_labels(
+      spec.receivers.size());
+  u64 total_routed = 0;
+  for (u32 si = 0; si < by_sender.size(); ++si) {
+    HYB_REQUIRE(by_sender[si].size() <= spec.k_s,
+                "sender exceeds k_s tokens");
+    for (const routed_token& t : by_sender[si]) {
+      HYB_REQUIRE(t.sender == spec.senders[si],
+                  "token sender does not match its slot");
+      const u32 ri = receiver_pos[t.receiver];
+      HYB_REQUIRE(ri != ~u32{0}, "token addressed to a non-receiver");
+      if (t.sender == t.receiver) {
+        delivered[ri].push_back(t);
+        continue;
+      }
+      const u64 lbl = pack_label(t.sender, t.receiver, t.index);
+      sender_tokens[si].push_back({lbl, t.payload});
+      receiver_labels[ri].push_back({lbl, 0});
+      ++total_routed;
+    }
+  }
+  for (u32 ri = 0; ri < spec.receivers.size(); ++ri)
+    HYB_REQUIRE(receiver_labels[ri].size() <= spec.k_r,
+                "receiver exceeds k_r tokens");
+  if (total_routed == 0) return delivered;
+
+  // ---- Algorithm 3: hand tokens to sender-helpers, labels to
+  // receiver-helpers -------------------------------------------------------
+  // send_tasks[v]: tokens v must push to intermediates;
+  // want[v]: labels v must fetch from intermediates.
+  std::vector<std::vector<helper_task>> send_tasks(n);
+  std::vector<std::vector<helper_task>> want(n);
+
+  // Algorithm 3 floods every owner's tokens through its whole cluster for
+  // 2(µ_S+µ_R)⌈log n⌉ rounds and lets helpers pick their share. We charge
+  // exactly those rounds and the flood's traffic, but deliver each helper's
+  // canonical share directly — the flood gives all cluster members strictly
+  // more knowledge than the share the helpers extract from it, so outcomes
+  // are identical (see DESIGN.md §4 on simulator shortcuts).
+  auto distribute = [&](const helper_family& fam,
+                        const std::vector<u32>& owners,
+                        std::vector<std::vector<helper_task>>& tasks,
+                        std::vector<std::vector<helper_task>>& dest) {
+    if (fam.trivial()) {
+      for (u32 i = 0; i < owners.size(); ++i)
+        for (const helper_task& t : tasks[i]) dest[owners[i]].push_back(t);
+      return;
+    }
+    const u32 flood_rounds = fam.clusters.flood_budget();
+    u64 token_count = 0;
+    for (u32 i = 0; i < owners.size(); ++i) {
+      token_count += tasks[i].size();
+      const auto& helpers = fam.helpers_of[i];
+      for (u32 pos = 0; pos < helpers.size(); ++pos) {
+        std::vector<helper_task> mine;
+        take_share(tasks[i], pos, static_cast<u32>(helpers.size()), mine);
+        for (const helper_task& t : mine) dest[helpers[pos]].push_back(t);
+      }
+    }
+    net.charge_local(token_count * flood_rounds);
+    for (u32 r = 0; r < flood_rounds; ++r) net.advance_round();
+  };
+  distribute(ctx.sender_helpers, spec.senders, sender_tokens, send_tasks);
+  distribute(ctx.receiver_helpers, spec.receivers, receiver_labels, want);
+
+  // ---- Algorithm 4: route via hash-chosen intermediates ------------------
+  const kwise_hash& h = *ctx.hash;
+  auto intermediate_of = [&](u64 lbl) {
+    const u64 key = kwise_hash::encode_label(label_s(lbl), label_r(lbl),
+                                             label_i(lbl), n, kMaxTokenIndex);
+    return h.eval_to_range(key, n);
+  };
+
+  // Per-node intermediate storage and pending (unanswerable yet) requests.
+  std::vector<std::unordered_map<u64, u64>> store(n);
+  std::vector<std::unordered_map<u64, std::vector<u32>>> pending(n);
+  std::vector<std::deque<std::pair<u64, u32>>> answer_queue(n);
+  // fetched[v]: tokens v obtained as receiver-helper.
+  std::vector<std::vector<helper_task>> fetched(n);
+  std::vector<u64> want_left(n, 0);
+  std::vector<u64> send_cursor(n, 0), req_cursor(n, 0);
+  for (u32 v = 0; v < n; ++v) want_left[v] = want[v].size();
+
+  auto phase_done = [&]() {
+    for (u32 v = 0; v < n; ++v)
+      if (send_cursor[v] < send_tasks[v].size() || want_left[v] != 0)
+        return false;
+    return true;
+  };
+
+  const u64 guard_rounds =
+      16 * (total_routed / std::max<u64>(1, n) + spec.k_s + spec.k_r + n) +
+      64;
+  u64 spent = 0;
+  while (!phase_done()) {
+    HYB_INVARIANT(spent++ < guard_rounds,
+                  "token routing failed to make progress");
+    for (u32 v = 0; v < n; ++v) {
+      // Intermediate role first: answer what we can.
+      while (!answer_queue[v].empty() && net.global_budget(v) > 0) {
+        auto [lbl, dst] = answer_queue[v].front();
+        answer_queue[v].pop_front();
+        auto it = store[v].find(lbl);
+        HYB_INVARIANT(it != store[v].end(), "answering a missing token");
+        net.try_send_global(
+            global_msg::make(v, dst, kAnswerTag, {lbl, it->second}));
+        store[v].erase(it);
+      }
+      // Sender-helper role: push tokens (keep a reserve for requests).
+      const u32 reserve = net.global_cap() / 4;
+      while (send_cursor[v] < send_tasks[v].size() &&
+             net.global_budget(v) > reserve) {
+        const helper_task& t = send_tasks[v][send_cursor[v]++];
+        net.try_send_global(global_msg::make(
+            v, intermediate_of(t.label), kTokenTag, {t.label, t.payload}));
+      }
+      // Receiver-helper role: request labels.
+      while (req_cursor[v] < want[v].size() && net.global_budget(v) > 0) {
+        const u64 lbl = want[v][req_cursor[v]++].label;
+        net.try_send_global(
+            global_msg::make(v, intermediate_of(lbl), kRequestTag, {lbl}));
+      }
+    }
+    net.advance_round();
+    for (u32 v = 0; v < n; ++v) {
+      for (const global_msg& m : net.global_inbox(v)) {
+        switch (m.tag) {
+          case kTokenTag: {
+            store[v].emplace(m.w[0], m.w[1]);
+            auto p = pending[v].find(m.w[0]);
+            if (p != pending[v].end()) {
+              for (u32 dst : p->second) answer_queue[v].push_back({m.w[0], dst});
+              pending[v].erase(p);
+            }
+            break;
+          }
+          case kRequestTag: {
+            if (store[v].count(m.w[0]))
+              answer_queue[v].push_back({m.w[0], m.src});
+            else
+              pending[v][m.w[0]].push_back(m.src);
+            break;
+          }
+          case kAnswerTag: {
+            fetched[v].push_back({m.w[0], m.w[1]});
+            HYB_INVARIANT(want_left[v] > 0, "unexpected answer");
+            --want_left[v];
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+  // Distributed completion detection, charged as one AND-aggregation.
+  global_aggregate(net, agg_op::logical_and, std::vector<u64>(n, 1));
+
+  // ---- final collection: receivers gather from their helpers -------------
+  // Same simulator shortcut as `distribute`: the 2µ_R⌈log n⌉-round flood is
+  // charged, the tokens are handed over directly.
+  if (ctx.receiver_helpers.trivial()) {
+    for (u32 ri = 0; ri < spec.receivers.size(); ++ri)
+      for (const helper_task& t : fetched[spec.receivers[ri]])
+        delivered[ri].push_back({label_s(t.label), label_r(t.label),
+                                 label_i(t.label), t.payload});
+  } else {
+    const u32 flood_rounds = ctx.receiver_helpers.clusters.flood_budget();
+    u64 token_count = 0;
+    for (u32 v = 0; v < n; ++v) {
+      token_count += fetched[v].size();
+      for (const helper_task& t : fetched[v]) {
+        const u32 ri = receiver_pos[label_r(t.label)];
+        HYB_INVARIANT(ri != ~u32{0}, "fetched token has no receiver");
+        delivered[ri].push_back({label_s(t.label), label_r(t.label),
+                                 label_i(t.label), t.payload});
+      }
+    }
+    net.charge_local(token_count * flood_rounds);
+    for (u32 r = 0; r < flood_rounds; ++r) net.advance_round();
+  }
+  return delivered;
+}
+
+std::vector<std::vector<routed_token>> run_token_routing(
+    hybrid_net& net, routing_spec spec,
+    const std::vector<std::vector<routed_token>>& by_sender) {
+  routing_context ctx = build_routing_context(net, std::move(spec));
+  return route_tokens(net, ctx, by_sender);
+}
+
+}  // namespace hybrid

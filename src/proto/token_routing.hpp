@@ -1,0 +1,85 @@
+// Token routing (paper Section 2.2: Algorithms 2–4, Theorem 2.2).
+//
+// A set S of senders must deliver point-to-point tokens to a set R of
+// receivers (each sender ≤ k_S tokens, each receiver ≤ k_R tokens, receivers
+// know the labels they expect). With helper sets of size µ_S and µ_R the
+// protocol runs in Õ(K/n + √k_S + √k_R) rounds:
+//
+//   1. every sender hands its tokens to its helpers, and every receiver
+//      hands its expected labels to its helpers, by intra-cluster flooding
+//      (Algorithm 3; helpers self-select their balanced share from the
+//      canonical order, so no extra coordination is needed);
+//   2. sender-helpers push tokens to pseudo-random intermediate nodes
+//      h(s, r, i); receiver-helpers request the labels they own from the
+//      same intermediates, which answer as soon as they hold the token
+//      (Algorithm 4). The hash is k-wise independent with k = Θ(log n), so
+//      no node receives more than O(log n) messages per round w.h.p.
+//      (Lemma D.2);
+//   3. receivers collect their tokens from their helpers by intra-cluster
+//      flooding.
+//
+// The context (helper families + public hash) depends only on (S, R, µ) and
+// is reused across repeated batches — e.g. the T_A rounds of an embedded
+// CLIQUE algorithm (DESIGN.md deviation 4).
+//
+// Completion of the global phase is detected with one charged AND-
+// aggregation (O(log n) rounds) instead of per-round pipelined checks; see
+// DESIGN.md §4.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hash/kwise.hpp"
+#include "proto/helper_sets.hpp"
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+struct routing_spec {
+  std::vector<u32> senders;
+  std::vector<u32> receivers;
+  /// Sampling probabilities of S and R (Theorem 2.2's p_S, p_R); they bound
+  /// µ = ⌊min(√k, 1/p)⌋.
+  double p_s = 1.0;
+  double p_r = 1.0;
+  /// Maximum tokens per sender / per receiver in any batch.
+  u64 k_s = 1;
+  u64 k_r = 1;
+};
+
+struct routed_token {
+  u32 sender = 0;    ///< node ID
+  u32 receiver = 0;  ///< node ID
+  u32 index = 0;     ///< i of the label (s, r, i); distinct per (s, r)
+  u64 payload = 0;
+};
+
+struct routing_context {
+  routing_spec spec;
+  u32 mu_s = 1;
+  u32 mu_r = 1;
+  helper_family sender_helpers;    // indexed like spec.senders
+  helper_family receiver_helpers;  // indexed like spec.receivers
+  std::optional<kwise_hash> hash;
+  u64 setup_rounds = 0;  ///< rounds consumed building the context
+};
+
+/// Algorithm 2's setup: helper families for both sides plus the public hash
+/// (its O(log² n)-bit seed is drawn from the shared public randomness).
+routing_context build_routing_context(hybrid_net& net, routing_spec spec);
+
+/// Route one batch. `by_sender[i]` are the tokens of spec.senders[i]; every
+/// token's sender field must match. Returns the delivered tokens grouped by
+/// receiver position (aligned with spec.receivers).
+std::vector<std::vector<routed_token>> route_tokens(
+    hybrid_net& net, routing_context& ctx,
+    const std::vector<std::vector<routed_token>>& by_sender);
+
+/// Convenience: build a context and route a single batch (Theorem 2.2 as
+/// one call).
+std::vector<std::vector<routed_token>> run_token_routing(
+    hybrid_net& net, routing_spec spec,
+    const std::vector<std::vector<routed_token>>& by_sender);
+
+}  // namespace hybrid

@@ -1,0 +1,37 @@
+#include "sim/clique_net.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+clique_net::clique_net(u32 n)
+    : n_(n), inbox_(n), outbox_(n), sends_(n, 0) {
+  HYB_REQUIRE(n >= 2, "clique needs at least two nodes");
+}
+
+void clique_net::send(const clique_msg& m) {
+  HYB_REQUIRE(m.src < n_ && m.dst < n_, "endpoint out of range");
+  HYB_INVARIANT(sends_[m.src] < n_,
+                "node exceeded the n-messages-per-round clique cap");
+  ++sends_[m.src];
+  ++total_msgs_;
+  outbox_[m.src].push_back(m);
+}
+
+void clique_net::advance_round() {
+  ++rounds_;
+  for (u32 v = 0; v < n_; ++v) {
+    inbox_[v].clear();
+    sends_[v] = 0;
+  }
+  for (u32 v = 0; v < n_; ++v) {
+    for (const clique_msg& m : outbox_[v]) inbox_[m.dst].push_back(m);
+    outbox_[v].clear();
+  }
+  for (u32 v = 0; v < n_; ++v)
+    max_recv_ = std::max(max_recv_, static_cast<u32>(inbox_[v].size()));
+}
+
+}  // namespace hybrid

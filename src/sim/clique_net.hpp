@@ -1,0 +1,56 @@
+// CONGESTED CLIQUE simulator (paper Section 4, footnotes 4 and 9).
+//
+// Synchronous message passing on a complete graph: per round, every node may
+// send one O(log n)-bit message to every other node; with Lenzen's routing
+// the equivalent guarantee is n messages per node per round to arbitrary
+// targets, which is what we enforce (send cap n, receive load recorded).
+//
+// This simulator is used (a) standalone to unit-test CLIQUE algorithms at
+// the message level, and (b) as the semantic reference for the charged-round
+// CLIQUE embedding into HYBRID (proto/clique_embed).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace hybrid {
+
+struct clique_msg {
+  u32 src = 0;
+  u32 dst = 0;
+  u32 tag = 0;
+  std::array<u64, 3> w{};
+  u8 nw = 0;
+};
+
+class clique_net {
+ public:
+  explicit clique_net(u32 n);
+
+  u32 n() const { return n_; }
+  u64 round() const { return rounds_; }
+  u32 max_recv_per_round() const { return max_recv_; }
+  u64 total_messages() const { return total_msgs_; }
+
+  /// Enqueue for delivery at the next advance_round(). Enforces the
+  /// n-messages-per-node-per-round cap (Lenzen routing).
+  void send(const clique_msg& m);
+  u32 budget(u32 src) const { return n_ - sends_[src]; }
+
+  void advance_round();
+  std::span<const clique_msg> inbox(u32 v) const { return inbox_[v]; }
+
+ private:
+  u32 n_;
+  u64 rounds_ = 0;
+  u64 total_msgs_ = 0;
+  u32 max_recv_ = 0;
+  std::vector<std::vector<clique_msg>> inbox_;
+  std::vector<std::vector<clique_msg>> outbox_;
+  std::vector<u32> sends_;
+};
+
+}  // namespace hybrid

@@ -1,0 +1,113 @@
+#include "sim/hybrid_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+global_msg global_msg::make(u32 src, u32 dst, u32 tag,
+                            std::initializer_list<u64> words) {
+  global_msg m;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  HYB_REQUIRE(words.size() <= m.w.size(), "payload exceeds message capacity");
+  u8 i = 0;
+  for (u64 x : words) m.w[i++] = x;
+  m.nw = i;
+  return m;
+}
+
+hybrid_net::hybrid_net(const graph& g, model_config cfg, u64 seed)
+    : g_(&g),
+      cfg_(cfg),
+      inbox_(g.num_nodes()),
+      outbox_(g.num_nodes()),
+      sends_this_round_(g.num_nodes(), 0),
+      node_rng_(g.num_nodes()),
+      seed_(seed),
+      public_rng_(derive_seed(seed, ~u64{0})) {
+  HYB_REQUIRE(g.num_nodes() >= 2, "HYBRID networks need at least two nodes");
+  const u32 logn = id_bits(g.num_nodes());
+  global_cap_ = std::max<u32>(
+      1, static_cast<u32>(std::ceil(cfg.global_cap_mult * logn)));
+  hash_independence_ = std::max<u32>(
+      2, static_cast<u32>(std::ceil(cfg.hash_independence_mult * logn)));
+  header_bits_ = 2 * logn;  // src + dst IDs
+  if (cfg_.cut_side.size() == n()) cut_side_ = cfg_.cut_side;
+}
+
+void hybrid_net::advance_round() {
+  ++metrics_.rounds;
+  u32 max_recv = 0;
+  for (u32 v = 0; v < n(); ++v) {
+    inbox_[v].clear();
+    sends_this_round_[v] = 0;
+  }
+  // Two passes keep delivery independent of send order within the round.
+  for (u32 v = 0; v < n(); ++v) {
+    for (const global_msg& m : outbox_[v]) inbox_[m.dst].push_back(m);
+    outbox_[v].clear();
+  }
+  for (u32 v = 0; v < n(); ++v)
+    max_recv = std::max(max_recv, static_cast<u32>(inbox_[v].size()));
+  metrics_.max_global_recv_per_round =
+      std::max(metrics_.max_global_recv_per_round, max_recv);
+}
+
+bool hybrid_net::try_send_global(const global_msg& m) {
+  HYB_REQUIRE(m.src < n() && m.dst < n(), "message endpoint out of range");
+  HYB_INVARIANT(m.nw <= cfg_.max_payload_words,
+                "payload exceeds the O(log n)-bit model cap");
+  if (sends_this_round_[m.src] >= global_cap_) return false;
+  ++sends_this_round_[m.src];
+  ++metrics_.global_messages;
+  metrics_.global_payload_words += m.nw;
+  if (!cut_side_.empty() && cut_side_[m.src] != cut_side_[m.dst])
+    metrics_.cut_bits += static_cast<u64>(m.nw) * 64 + header_bits_;
+  outbox_[m.src].push_back(m);
+  return true;
+}
+
+u32 hybrid_net::global_budget(u32 src) const {
+  return global_cap_ - sends_this_round_[src];
+}
+
+std::span<const global_msg> hybrid_net::global_inbox(u32 v) const {
+  return inbox_[v];
+}
+
+rng& hybrid_net::node_rng(u32 v) {
+  HYB_REQUIRE(v < n(), "node out of range");
+  if (!node_rng_[v]) node_rng_[v].emplace(derive_seed(seed_, v));
+  return *node_rng_[v];
+}
+
+void hybrid_net::begin_phase(std::string name) {
+  close_phase();
+  open_phase_ = phase_entry{std::move(name), 0, 0};
+  phase_start_rounds_ = metrics_.rounds;
+  phase_start_msgs_ = metrics_.global_messages;
+}
+
+void hybrid_net::close_phase() {
+  if (!open_phase_) return;
+  open_phase_->rounds = metrics_.rounds - phase_start_rounds_;
+  open_phase_->global_messages = metrics_.global_messages - phase_start_msgs_;
+  metrics_.phases.push_back(*open_phase_);
+  open_phase_.reset();
+}
+
+run_metrics hybrid_net::snapshot() {
+  close_phase();
+  return metrics_;
+}
+
+void hybrid_net::set_cut(std::vector<u8> side) {
+  HYB_REQUIRE(side.size() == n(), "cut must label every node");
+  cut_side_ = std::move(side);
+}
+
+}  // namespace hybrid

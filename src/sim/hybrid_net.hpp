@@ -1,0 +1,140 @@
+// The HYBRID network model simulator (paper Section 1, "The Hybrid Network
+// Model": LOCAL + NCC).
+//
+// Synchronous rounds. In every round a node may
+//   (a) exchange arbitrary messages with each neighbor in the local graph G
+//       (LOCAL mode; unbounded bandwidth, traffic is accounted but not
+//       capped), and
+//   (b) send at most γ = global_cap() messages of at most
+//       max_payload_words·64 bits each to arbitrary nodes (NCC mode; the cap
+//       is enforced at send time, receive loads are recorded so tests can
+//       check Lemma D.2's O(log n) bound).
+//
+// Protocols are written against this class: they keep per-node state arrays,
+// and all information flow between nodes goes through global mailboxes or
+// the audited LOCAL utilities in proto/flood.hpp (which charge local items
+// and advance rounds). Node-private and public randomness both derive from
+// one run seed, so every simulation is reproducible.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/metrics.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace hybrid {
+
+struct model_config {
+  /// γ = ceil(global_cap_mult · log2 n) global messages per node per round.
+  double global_cap_mult = 4.0;
+  /// Global message payload cap in 64-bit words (Θ(log n) bits).
+  u32 max_payload_words = 3;
+  /// Hash independence k = ceil(hash_independence_mult · log2 n) (Lemma D.2).
+  double hash_independence_mult = 3.0;
+  /// Skeleton hop budget h = ceil(skeleton_xi · (1/p) · ln n) (Lemma C.1's ξ).
+  double skeleton_xi = 2.0;
+  /// Helper-set join probability q = min(helper_q_mult · µ / |C|, 1)
+  /// (Algorithm 1 uses 2; larger values harden the |H_w| ≥ µ event at
+  /// simulation sizes).
+  double helper_q_mult = 4.0;
+  /// Copies of each token seeded to random nodes before gossip in the token
+  /// dissemination protocol (Θ(log n) in the analysis).
+  double dissemination_seed_mult = 1.0;
+  /// Optional node bipartition for Section-7-style cut accounting; when its
+  /// size equals n it is registered at network construction, so the full
+  /// algorithms (which build their own nets) can be instrumented.
+  std::vector<u8> cut_side;
+};
+
+struct global_msg {
+  u32 src = 0;
+  u32 dst = 0;
+  u32 tag = 0;
+  std::array<u64, 3> w{};  ///< payload words (w[0..nw))
+  u8 nw = 0;
+
+  static global_msg make(u32 src, u32 dst, u32 tag,
+                         std::initializer_list<u64> words);
+};
+
+class hybrid_net {
+ public:
+  hybrid_net(const graph& g, model_config cfg, u64 seed);
+
+  const graph& g() const { return *g_; }
+  u32 n() const { return g_->num_nodes(); }
+  const model_config& config() const { return cfg_; }
+
+  /// γ: per-node global sends per round.
+  u32 global_cap() const { return global_cap_; }
+  /// Hash independence parameter for this n.
+  u32 hash_independence() const { return hash_independence_; }
+
+  // ---- round lifecycle -----------------------------------------------
+  /// Close the current round: deliver queued global messages, reset send
+  /// budgets, bump the round counter.
+  void advance_round();
+  u64 round() const { return metrics_.rounds; }
+
+  // ---- NCC global mode -------------------------------------------------
+  /// Send if src still has budget this round; returns false when the γ cap
+  /// is exhausted (callers keep the message queued for a later round).
+  bool try_send_global(const global_msg& m);
+  /// Remaining sends for src this round.
+  u32 global_budget(u32 src) const;
+  /// Messages delivered to v at the last advance_round().
+  std::span<const global_msg> global_inbox(u32 v) const;
+
+  // ---- LOCAL mode accounting -------------------------------------------
+  /// Charge `items` O(log n)-bit records crossing local edges this round.
+  void charge_local(u64 items) { metrics_.local_items += items; }
+
+  // ---- randomness --------------------------------------------------------
+  rng& node_rng(u32 v);
+  /// Shared public coins (the broadcastable seed of Lemma 2.3).
+  rng& public_rng() { return public_rng_; }
+
+  // ---- metrics / instrumentation -----------------------------------------
+  void begin_phase(std::string name);
+  /// Finalize the open phase and return a copy of the metrics.
+  run_metrics snapshot();
+  const run_metrics& raw_metrics() const { return metrics_; }
+
+  /// Register a bipartition for Section-7-style cut accounting; bits of
+  /// global messages crossing it accumulate in metrics().cut_bits.
+  void set_cut(std::vector<u8> side);
+  void clear_cut() { cut_side_.clear(); }
+
+ private:
+  void close_phase();
+
+  const graph* g_;
+  model_config cfg_;
+  u32 global_cap_;
+  u32 hash_independence_;
+  u32 header_bits_;
+
+  std::vector<std::vector<global_msg>> inbox_;
+  std::vector<std::vector<global_msg>> outbox_;
+  std::vector<u32> sends_this_round_;
+
+  std::vector<std::optional<rng>> node_rng_;
+  u64 seed_;
+  rng public_rng_;
+
+  run_metrics metrics_;
+  std::optional<phase_entry> open_phase_;
+  u64 phase_start_rounds_ = 0;
+  u64 phase_start_msgs_ = 0;
+
+  std::vector<u8> cut_side_;
+};
+
+}  // namespace hybrid

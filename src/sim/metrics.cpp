@@ -1,0 +1,18 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace hybrid {
+
+void run_metrics::absorb(const run_metrics& sub) {
+  rounds += sub.rounds;
+  global_messages += sub.global_messages;
+  global_payload_words += sub.global_payload_words;
+  local_items += sub.local_items;
+  max_global_recv_per_round =
+      std::max(max_global_recv_per_round, sub.max_global_recv_per_round);
+  cut_bits += sub.cut_bits;
+  phases.insert(phases.end(), sub.phases.begin(), sub.phases.end());
+}
+
+}  // namespace hybrid

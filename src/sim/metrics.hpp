@@ -1,0 +1,42 @@
+// Round/message/bit accounting for simulated protocols.
+//
+// Rounds are the quantity every theorem in the paper bounds; the rest exists
+// to check the model's bandwidth assumptions (Lemma D.2 receive loads, the
+// Alice/Bob cut capacity in Section 7) and to compare communication volumes
+// between algorithms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace hybrid {
+
+struct phase_entry {
+  std::string name;
+  u64 rounds = 0;
+  u64 global_messages = 0;
+};
+
+struct run_metrics {
+  u64 rounds = 0;
+  u64 global_messages = 0;
+  u64 global_payload_words = 0;
+  /// Local-mode traffic in "items" (one O(log n)-bit record crossing one
+  /// edge). The LOCAL mode is unbounded, so this is informational only.
+  u64 local_items = 0;
+  /// Worst per-node global receive load observed in any round — the
+  /// quantity Lemma D.2 bounds by O(log n) w.h.p.
+  u32 max_global_recv_per_round = 0;
+  /// Bits of global messages that crossed the registered node cut
+  /// (Section 7's information bottleneck).
+  u64 cut_bits = 0;
+
+  std::vector<phase_entry> phases;
+
+  /// Merge a sub-run (e.g., a nested protocol measured separately).
+  void absorb(const run_metrics& sub);
+};
+
+}  // namespace hybrid

@@ -1,0 +1,41 @@
+// Lightweight contract checking used across the library.
+//
+// HYB_REQUIRE   — precondition on public API arguments; always on, throws
+//                 std::invalid_argument so callers can test misuse.
+// HYB_INVARIANT — internal invariant; always on, aborts via std::logic_error.
+//                 Protocol code uses this for model violations that indicate a
+//                 bug in the implementation (e.g., a message exceeding the cap
+//                 after it was already validated).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hybrid {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'r') throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace hybrid
+
+#define HYB_REQUIRE(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::hybrid::contract_failure("requirement", #expr, __FILE__, __LINE__, \
+                                 (msg));                                   \
+  } while (0)
+
+#define HYB_INVARIANT(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::hybrid::contract_failure("invariant", #expr, __FILE__, __LINE__, \
+                                 (msg));                                 \
+  } while (0)

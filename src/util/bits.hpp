@@ -1,0 +1,47 @@
+// Small integer helpers shared by the simulator and protocols.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace hybrid {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// ⌈log2(x)⌉ for x ≥ 1; 0 for x ∈ {0, 1}. Used for "log n" round budgets.
+constexpr u32 ceil_log2(u64 x) {
+  if (x <= 1) return 0;
+  return 64 - static_cast<u32>(std::countl_zero(x - 1));
+}
+
+/// Number of ID bits used by protocols: max(1, ⌈log2 n⌉).
+constexpr u32 id_bits(u64 n) {
+  u32 b = ceil_log2(n);
+  return b == 0 ? 1 : b;
+}
+
+/// ⌈a / b⌉ for b > 0.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+/// Integer square root (floor).
+constexpr u64 isqrt(u64 x) {
+  u64 r = 0;
+  u64 bit = u64{1} << 62;
+  while (bit > x) bit >>= 2;
+  while (bit != 0) {
+    if (x >= r + bit) {
+      x -= r + bit;
+      r = (r >> 1) + bit;
+    } else {
+      r >>= 1;
+    }
+    bit >>= 2;
+  }
+  return r;
+}
+
+}  // namespace hybrid

@@ -1,0 +1,50 @@
+#include "util/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+double chernoff_upper_tail(double mu_h, double delta) {
+  HYB_REQUIRE(mu_h >= 0 && delta >= 1.0,
+              "this Chernoff form needs delta >= 1");
+  return std::exp(-delta * mu_h / 3.0);
+}
+
+double chernoff_lower_tail(double mu_l, double delta) {
+  HYB_REQUIRE(mu_l >= 0 && delta >= 0.0 && delta <= 1.0,
+              "lower tail needs delta in [0,1]");
+  return std::exp(-delta * delta * mu_l / 2.0);
+}
+
+double union_bound(double p, double events) {
+  HYB_REQUIRE(p >= 0 && events >= 0, "probabilities cannot be negative");
+  return std::min(1.0, p * events);
+}
+
+double skeleton_gap_miss_probability(double p, u64 h) {
+  HYB_REQUIRE(p > 0 && p <= 1.0, "sampling rate in (0,1]");
+  return std::pow(1.0 - p, static_cast<double>(h));
+}
+
+double skeleton_failure_probability(u32 n, double p, u64 h) {
+  const double per_stretch = skeleton_gap_miss_probability(p, h);
+  // ≤ n² pairs × ≤ n maximal stretches per pair (paper, proof of C.1).
+  const double events =
+      static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n);
+  return union_bound(per_stretch, events);
+}
+
+double receive_overload_probability(u32 n, u64 total_sends, double delta) {
+  HYB_REQUIRE(n >= 1, "need nodes");
+  const double mean = static_cast<double>(total_sends) / n;
+  if (delta < 1.0) {
+    // Fall back to the (valid, weaker) multiplicative form exp(−δ²µ/3).
+    return std::exp(-delta * delta * mean / 3.0);
+  }
+  return chernoff_upper_tail(mean, delta);
+}
+
+}  // namespace hybrid

@@ -1,0 +1,39 @@
+// The probabilistic toolkit of the paper's Appendix A, made executable.
+//
+// The proofs of Lemmas 2.2, C.1 and D.2 instantiate Chernoff bounds
+// (Lemma A.1) and a polynomial union bound (Lemma A.2). The benches and
+// property tests use these same bounds to derive failure probabilities for
+// the chosen model_config constants at concrete n — e.g. "with ξ = 2 the
+// per-pair skeleton-miss probability at n = 512 is ≤ 1/n²".
+#pragma once
+
+#include "util/bits.hpp"
+
+namespace hybrid {
+
+/// Upper-tail Chernoff (Lemma A.1, first form):
+/// P(X > (1+δ)µ_H) ≤ exp(−δ·µ_H/3) for δ ≥ 1, E[X] ≤ µ_H.
+double chernoff_upper_tail(double mu_h, double delta);
+
+/// Lower-tail Chernoff (Lemma A.1, second form):
+/// P(X < (1−δ)µ_L) ≤ exp(−δ²·µ_L/2) for 0 ≤ δ ≤ 1, E[X] ≥ µ_L.
+double chernoff_lower_tail(double mu_l, double delta);
+
+/// Union bound over `events` events each failing with probability ≤ p
+/// (Lemma A.2 without the asymptotics): min(1, events·p).
+double union_bound(double p, double events);
+
+/// Lemma C.1's driving quantity: probability that a fixed stretch of
+/// `h` hops contains no node sampled at rate p, i.e. (1−p)^h.
+double skeleton_gap_miss_probability(double p, u64 h);
+
+/// Lemma C.1 end-to-end: probability that ANY of the ≤ n² shortest paths
+/// (with ≤ n sub-path stretches each, as in the paper's union bound) has an
+/// h-hop stretch without a skeleton node.
+double skeleton_failure_probability(u32 n, double p, u64 h);
+
+/// Lemma D.2's receive-load tail for one node in one round: the chance that
+/// a Bin(total_sends, 1/n) load exceeds (1+δ)·mean, Chernoff upper tail.
+double receive_overload_probability(u32 n, u64 total_sends, double delta);
+
+}  // namespace hybrid

@@ -1,0 +1,68 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+linear_fit fit_line(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  HYB_REQUIRE(x.size() == y.size() && x.size() >= 2,
+              "need at least two matched points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  linear_fit f;
+  const double den = n * sxx - sx * sx;
+  HYB_REQUIRE(den != 0.0, "degenerate x values");
+  f.slope = (n * sxy - sx * sy) / den;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double ybar = sy / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = f.slope * x[i] + f.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  f.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+linear_fit loglog_exponent(const std::vector<double>& n,
+                           const std::vector<double>& rounds) {
+  return loglog_exponent_deflated(n, rounds, 0.0);
+}
+
+linear_fit loglog_exponent_deflated(const std::vector<double>& n,
+                                    const std::vector<double>& rounds,
+                                    double log_power) {
+  std::vector<double> lx(n.size()), ly(rounds.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    HYB_REQUIRE(n[i] > 0 && rounds[i] > 0, "log-log fit needs positive data");
+    lx[i] = std::log(n[i]);
+    ly[i] = std::log(rounds[i] / std::pow(std::log2(n[i]), log_power));
+  }
+  return fit_line(lx, ly);
+}
+
+double mean(const std::vector<double>& v) {
+  HYB_REQUIRE(!v.empty(), "mean of empty set");
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double max_value(const std::vector<double>& v) {
+  HYB_REQUIRE(!v.empty(), "max of empty set");
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace hybrid

@@ -1,0 +1,34 @@
+// Statistics helpers for the benchmark harnesses.
+//
+// The paper's claims are round-complexity exponents (Õ(n^c)); benches fit the
+// exponent of measured rounds against n on a log-log scale and report it next
+// to the claimed value.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hybrid {
+
+struct linear_fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = slope·x + intercept.
+linear_fit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fit rounds ≈ c·n^e: returns e (slope of log(rounds) vs log(n)).
+/// Polylog factors in Õ(·) bias the fitted exponent upward slightly at small
+/// n; `loglog_exponent_deflated` divides out a log^p n factor first.
+linear_fit loglog_exponent(const std::vector<double>& n,
+                           const std::vector<double>& rounds);
+linear_fit loglog_exponent_deflated(const std::vector<double>& n,
+                                    const std::vector<double>& rounds,
+                                    double log_power);
+
+double mean(const std::vector<double>& v);
+double max_value(const std::vector<double>& v);
+
+}  // namespace hybrid

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HYB_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+table& table::add_row(std::vector<std::string> cells) {
+  HYB_REQUIRE(cells.size() == headers_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(width[c])) << row[c] << " |";
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os.flush();
+}
+
+std::string table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string table::integer(long long v) { return std::to_string(v); }
+
+void print_section(const std::string& title, std::ostream& os) {
+  os << "\n### " << title << "\n\n";
+}
+
+}  // namespace hybrid

@@ -1,0 +1,31 @@
+// Minimal fixed-width table printer; every bench binary prints paper-style
+// rows with it so EXPERIMENTS.md can quote output verbatim.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hybrid {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  table& add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os = std::cout) const;
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a "### title" section header the harnesses use between tables.
+void print_section(const std::string& title, std::ostream& os = std::cout);
+
+}  // namespace hybrid

@@ -1,0 +1,98 @@
+// Tests for the k-wise independent hash family (paper Appendix D).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "hash/kwise.hpp"
+
+namespace hybrid {
+namespace {
+
+TEST(KwiseHash, DeterministicGivenSeedStream) {
+  rng r1(99), r2(99);
+  kwise_hash h1(8, r1), h2(8, r2);
+  for (u64 x = 0; x < 100; ++x) EXPECT_EQ(h1.eval(x), h2.eval(x));
+}
+
+TEST(KwiseHash, DifferentSeedsGiveDifferentFunctions) {
+  rng r1(1), r2(2);
+  kwise_hash h1(8, r1), h2(8, r2);
+  int same = 0;
+  for (u64 x = 0; x < 100; ++x) same += (h1.eval(x) == h2.eval(x));
+  EXPECT_LE(same, 2);
+}
+
+TEST(KwiseHash, RangeMappingStaysInRange) {
+  rng r(3);
+  kwise_hash h(6, r);
+  for (u64 x = 0; x < 10'000; ++x) ASSERT_LT(h.eval_to_range(x, 37), 37u);
+}
+
+TEST(KwiseHash, MarginalUniformity) {
+  // Each key's image should be near-uniform over buckets across seeds.
+  constexpr u32 buckets = 16;
+  constexpr int trials = 4000;
+  std::vector<int> counts(buckets, 0);
+  for (int t = 0; t < trials; ++t) {
+    rng r(1000 + t);
+    kwise_hash h(4, r);
+    ++counts[h.eval_to_range(/*key=*/123456, buckets)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, trials / buckets * 0.7);
+    EXPECT_LT(c, trials / buckets * 1.3);
+  }
+}
+
+TEST(KwiseHash, PairwiseIndependenceSmoke) {
+  // For a fixed pair of keys, the joint distribution over a 4×4 bucket grid
+  // should be near-product across random functions.
+  constexpr u32 buckets = 4;
+  constexpr int trials = 8000;
+  std::map<std::pair<u32, u32>, int> joint;
+  for (int t = 0; t < trials; ++t) {
+    rng r(77 + t);
+    kwise_hash h(4, r);
+    joint[{h.eval_to_range(11, buckets), h.eval_to_range(22, buckets)}]++;
+  }
+  const double expect = trials / 16.0;
+  for (u32 i = 0; i < buckets; ++i)
+    for (u32 j = 0; j < buckets; ++j) {
+      const double c = joint[{i, j}];
+      EXPECT_GT(c, expect * 0.6) << i << "," << j;
+      EXPECT_LT(c, expect * 1.4) << i << "," << j;
+    }
+}
+
+TEST(KwiseHash, SeedBitsMatchLemma) {
+  rng r(5);
+  kwise_hash h(24, r);  // k = Θ(log n) for n ≈ 2^8..2^24
+  EXPECT_EQ(h.seed_bits(), 24u * 61);  // O(log² n) bits (Lemma 2.3)
+}
+
+TEST(KwiseHash, LabelEncodingInjective) {
+  std::map<u64, std::tuple<u32, u32, u32>> seen;
+  const u32 n = 64;
+  for (u32 s = 0; s < 8; ++s)
+    for (u32 t = 0; t < 8; ++t)
+      for (u32 i = 0; i < 8; ++i) {
+        const u64 key = kwise_hash::encode_label(s, t, i, n, 1u << 20);
+        auto [it, inserted] = seen.emplace(key, std::make_tuple(s, t, i));
+        EXPECT_TRUE(inserted) << "collision at " << s << "," << t << "," << i;
+      }
+}
+
+TEST(KwiseHash, EncodeRejectsOverflow) {
+  EXPECT_THROW(
+      kwise_hash::encode_label(1u << 30, 0, 0, 1u << 31, 1u << 30),
+      std::invalid_argument);
+}
+
+TEST(KwiseHash, RejectsTrivialIndependence) {
+  rng r(5);
+  EXPECT_THROW(kwise_hash(1, r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hybrid

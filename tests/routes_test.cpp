@@ -1,0 +1,125 @@
+// Tests for next-hop routing tables (the IP-routing application of
+// Theorem 1.1) and the first-hop tracking in the flood primitives.
+#include <gtest/gtest.h>
+
+#include "core/apsp.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "proto/flood.hpp"
+
+namespace hybrid {
+namespace {
+
+model_config cfg() { return model_config{}; }
+
+u64 edge_weight(const graph& g, u32 a, u32 b) {
+  for (const edge& e : g.neighbors(a))
+    if (e.to == b) return e.weight;
+  return kInfDist;
+}
+
+/// Forward a packet using only per-node tables; returns (reached, weight).
+std::pair<bool, u64> route(const graph& g, const apsp_result& res, u32 src,
+                           u32 dst) {
+  u32 cur = src;
+  u64 w = 0;
+  u32 hops = 0;
+  while (cur != dst) {
+    if (hops++ > g.num_nodes()) return {false, w};  // loop guard
+    const u32 nh = res.next_hop[cur][dst];
+    if (nh == ~u32{0}) return {false, w};
+    const u64 ew = edge_weight(g, cur, nh);
+    if (ew == kInfDist) return {false, w};  // next hop must be a neighbor
+    w += ew;
+    cur = nh;
+  }
+  return {true, w};
+}
+
+class RoutingTables : public ::testing::TestWithParam<std::tuple<int, u64>> {};
+
+TEST_P(RoutingTables, GreedyForwardingRealizesExactDistances) {
+  const auto [kind, seed] = GetParam();
+  graph g;
+  switch (kind) {
+    case 0: g = gen::erdos_renyi_connected(96, 5.0, 9, seed); break;
+    case 1: g = gen::grid(10, 10, 7, seed); break;
+    case 2: g = gen::path(96, 9, seed); break;
+    default: g = gen::barbell(16, 30, 5, seed); break;
+  }
+  const apsp_result res = hybrid_apsp_exact(g, cfg(), seed, true);
+  const u32 n = g.num_nodes();
+  ASSERT_EQ(res.next_hop.size(), n);
+  for (u32 u = 0; u < n; ++u) {
+    EXPECT_EQ(res.next_hop[u][u], u);
+    for (u32 v = 0; v < n; ++v) {
+      const auto [reached, w] = route(g, res, u, v);
+      ASSERT_TRUE(reached) << u << "->" << v;
+      ASSERT_EQ(w, res.dist[u][v]) << u << "->" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, RoutingTables,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(1u, 2u)));
+
+TEST(RoutingTables, OffByDefault) {
+  const graph g = gen::path(32);
+  const apsp_result res = hybrid_apsp_exact(g, cfg(), 1);
+  EXPECT_TRUE(res.next_hop.empty());
+}
+
+TEST(RoutingTables, NextHopIsAlwaysANeighbor) {
+  const graph g = gen::erdos_renyi_connected(64, 4.0, 5, 3);
+  const apsp_result res = hybrid_apsp_exact(g, cfg(), 3, true);
+  for (u32 u = 0; u < 64; ++u)
+    for (u32 v = 0; v < 64; ++v) {
+      if (u == v) continue;
+      EXPECT_NE(edge_weight(g, u, res.next_hop[u][v]), kInfDist)
+          << u << "->" << v;
+    }
+}
+
+TEST(RoutingTables, ChargesOneExtraRoundAndTraffic) {
+  const graph g = gen::grid(8, 8, 3, 5);
+  const apsp_result plain = hybrid_apsp_exact(g, cfg(), 7, false);
+  const apsp_result routed = hybrid_apsp_exact(g, cfg(), 7, true);
+  EXPECT_EQ(routed.metrics.rounds, plain.metrics.rounds + 1);
+  EXPECT_GT(routed.metrics.local_items, plain.metrics.local_items);
+  EXPECT_EQ(routed.dist, plain.dist);  // distances unaffected
+}
+
+// ---- first-hop tracking in the primitives ----------------------------------
+
+TEST(FirstHop, LimitedBellmanFordViaPointsBackward) {
+  const graph g = gen::path(6);
+  hybrid_net net(g, cfg(), 1);
+  const auto got = limited_bellman_ford(net, {0}, 5);
+  for (u32 v = 1; v < 6; ++v) {
+    ASSERT_EQ(got[v].size(), 1u);
+    EXPECT_EQ(got[v][0].via, v - 1) << v;  // path goes back toward node 0
+  }
+  EXPECT_EQ(got[0][0].via, 0u);  // source points to itself
+}
+
+TEST(FirstHop, FullExplorationMatrixConsistent) {
+  const graph g = gen::erdos_renyi_connected(48, 4.0, 6, 9);
+  hybrid_net net(g, cfg(), 1);
+  std::vector<std::vector<u32>> hop;
+  const auto dist = full_local_exploration(net, 6, true, &hop);
+  for (u32 u = 0; u < 48; ++u) {
+    EXPECT_EQ(hop[u][u], u);
+    for (u32 v = 0; v < 48; ++v) {
+      if (u == v || dist[u][v] == kInfDist) continue;
+      const u32 w = hop[u][v];
+      ASSERT_NE(w, ~u32{0}) << u << "->" << v;
+      // d(u,v) = w(u, w) + d_{h-1}(w, v) ≥ w(u,w) + d_h(w,v); the first-hop
+      // edge weight is consistent with a shortest ≤h-hop walk.
+      EXPECT_LE(edge_weight(g, u, w), dist[u][v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -1,0 +1,178 @@
+// Unit tests for src/util: RNG determinism and uniformity, bit helpers,
+// statistics fits, table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hybrid {
+namespace {
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, IdBitsNeverZero) {
+  EXPECT_EQ(id_bits(1), 1u);
+  EXPECT_EQ(id_bits(2), 1u);
+  EXPECT_EQ(id_bits(3), 2u);
+  EXPECT_EQ(id_bits(1u << 20), 20u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+}
+
+TEST(Bits, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(1'000'000), 1000u);
+  EXPECT_EQ(isqrt(999'999), 999u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  rng r(7);
+  constexpr u64 bound = 10;
+  std::vector<int> buckets(bound, 0);
+  constexpr int draws = 100'000;
+  for (int i = 0; i < draws; ++i) {
+    const u64 x = r.next_below(bound);
+    ASSERT_LT(x, bound);
+    ++buckets[x];
+  }
+  for (int c : buckets) {
+    EXPECT_GT(c, draws / 10 * 0.9);
+    EXPECT_LT(c, draws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, NextBoolRespectsProbability) {
+  rng r(11);
+  int hits = 0;
+  constexpr int draws = 100'000;
+  for (int i = 0; i < draws; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(draws), 0.3, 0.01);
+  EXPECT_FALSE(r.next_bool(0.0));
+  EXPECT_TRUE(r.next_bool(1.0));
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  rng r(5);
+  const auto sample = r.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<u32> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (u32 x : sample) EXPECT_LT(x, 100u);
+}
+
+TEST(Rng, SampleAll) {
+  rng r(5);
+  const auto sample = r.sample_without_replacement(10, 10);
+  std::set<u32> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, DeriveSeedSpreadsStreams) {
+  std::set<u64> seen;
+  for (u64 s = 0; s < 1000; ++s) seen.insert(derive_seed(123, s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Stats, FitLineRecoversSlope) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 1.0);
+  }
+  const linear_fit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LogLogExponentRecoversPowerLaw) {
+  std::vector<double> n, rounds;
+  for (double v : {128.0, 256.0, 512.0, 1024.0, 2048.0}) {
+    n.push_back(v);
+    rounds.push_back(7.5 * std::pow(v, 0.5));
+  }
+  const linear_fit f = loglog_exponent(n, rounds);
+  EXPECT_NEAR(f.slope, 0.5, 1e-9);
+}
+
+TEST(Stats, DeflatedExponentRemovesLogFactor) {
+  std::vector<double> n, rounds;
+  for (double v : {256.0, 512.0, 1024.0, 2048.0, 4096.0}) {
+    n.push_back(v);
+    rounds.push_back(2.0 * std::pow(v, 0.5) * std::log2(v));
+  }
+  const linear_fit raw = loglog_exponent(n, rounds);
+  const linear_fit defl = loglog_exponent_deflated(n, rounds, 1.0);
+  EXPECT_GT(raw.slope, 0.5);       // the log factor inflates the raw fit
+  EXPECT_NEAR(defl.slope, 0.5, 1e-9);
+}
+
+TEST(Stats, MeanAndMax) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(max_value({1.0, 5.0, 3.0}), 5.0);
+}
+
+TEST(Stats, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_line({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Table, FormatsAlignedRows) {
+  table t({"n", "rounds"});
+  t.add_row({"128", "42"});
+  t.add_row({"4096", "1234"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| 4096 |"), std::string::npos);
+  EXPECT_NE(s.find("|------|"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(table::integer(42), "42");
+}
+
+}  // namespace
+}  // namespace hybrid
