@@ -1,4 +1,4 @@
-// E13 — ablations of the design choices DESIGN.md calls out:
+// E13 — ablations of the design choices docs/DESIGN.md calls out:
 //   (a) helper-context reuse across embedded CLIQUE rounds (deviation 4)
 //       vs. Algorithm 8 as literally written (rebuild every round);
 //   (b) the γ multiplier (global messages per round);

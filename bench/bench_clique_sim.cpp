@@ -5,7 +5,7 @@
 // simulated clique round against the prediction. Also the E13-adjacent
 // comparison: the real message-level naive CLIQUE APSP (n_S rounds) vs. the
 // declared rounds of the cited fast algorithms — why charging published
-// complexities is the only way to reproduce Theorems 1.2–1.4 (DESIGN.md §4).
+// complexities is the only way to reproduce Theorems 1.2–1.4 (docs/DESIGN.md §4).
 #include <cmath>
 #include <iostream>
 

@@ -5,7 +5,7 @@
 // parameterized by (γ, δ, η, α, β): runtime T_A = Õ(η·n^δ) and an
 // (α, β)-approximation contract. Re-implementing the algebraic matrix
 // multiplication machinery of Censor-Hillel et al. [7, 8] is out of scope
-// for a reproduction of *this* paper (DESIGN.md §4); instead each plug-in
+// for a reproduction of *this* paper (docs/DESIGN.md §4); instead each plug-in
 //   * produces outputs satisfying its exact (α, β) contract (computed on
 //     the skeleton instance the clique nodes jointly know),
 //   * declares the published round complexity T_A, which the embedding

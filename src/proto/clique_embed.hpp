@@ -7,7 +7,7 @@
 // The embedding first makes V_S public knowledge via token dissemination
 // (Õ(√|V_S|)), builds a reusable routing context, and then charges every
 // declared round of the plug-in algorithm with the model-maximal all-to-all
-// load through the real routing machinery (DESIGN.md §4: the plug-in's
+// load through the real routing machinery (docs/DESIGN.md §4: the plug-in's
 // result is computed functionally under its (α, β) contract, while the
 // embedding's round cost — the quantity Theorems 1.2–1.4 measure — is paid
 // in full).

@@ -2,7 +2,7 @@
 // SODA'20): k tokens of O(log n) bits, at most ℓ per node, are made known to
 // every node in Õ(√k + ℓ) rounds of the HYBRID model.
 //
-// Protocol (same mechanism as [3], see DESIGN.md §4):
+// Protocol (same mechanism as [3], see docs/DESIGN.md §4):
 //   0. a sum-aggregation makes k known to all nodes;
 //   1. seeding — every owner pushes each of its tokens to Θ(log n) uniformly
 //      random nodes (priority traffic within the γ budget);

@@ -1,4 +1,6 @@
-// Audited LOCAL-mode primitives.
+// Audited LOCAL-mode primitives (paper Section 1, "The Hybrid Network
+// Model": the unbounded-bandwidth LOCAL mode; used by Algorithms 1, 5, 6
+// and 9).
 //
 // The paper's protocols use the local graph in exactly four ways; each gets
 // one primitive here so that all LOCAL information flow goes through code

@@ -7,7 +7,7 @@
 // inside its cluster every node joins H_w with probability
 // q = min(helper_q_mult·µ/|C|, 1). We additionally always put w into H_w so
 // that token routing stays correct even if the random size bound fails
-// (performance, not correctness, is the probabilistic part — see DESIGN.md).
+// (performance, not correctness, is the probabilistic part — see docs/DESIGN.md).
 #pragma once
 
 #include <vector>

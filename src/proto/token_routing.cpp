@@ -119,7 +119,7 @@ std::vector<std::vector<routed_token>> route_tokens(
   // exactly those rounds and the flood's traffic, but deliver each helper's
   // canonical share directly — the flood gives all cluster members strictly
   // more knowledge than the share the helpers extract from it, so outcomes
-  // are identical (see DESIGN.md §4 on simulator shortcuts).
+  // are identical (see docs/DESIGN.md §4 on simulator shortcuts).
   auto distribute = [&](const helper_family& fam,
                         const std::vector<u32>& owners,
                         std::vector<std::vector<helper_task>>& tasks,

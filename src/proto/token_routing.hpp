@@ -20,11 +20,11 @@
 //
 // The context (helper families + public hash) depends only on (S, R, µ) and
 // is reused across repeated batches — e.g. the T_A rounds of an embedded
-// CLIQUE algorithm (DESIGN.md deviation 4).
+// CLIQUE algorithm (docs/DESIGN.md deviation 4).
 //
 // Completion of the global phase is detected with one charged AND-
 // aggregation (O(log n) rounds) instead of per-round pipelined checks; see
-// DESIGN.md §4.
+// docs/DESIGN.md §4.
 #pragma once
 
 #include <optional>

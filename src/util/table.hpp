@@ -1,5 +1,6 @@
 // Minimal fixed-width table printer; every bench binary prints paper-style
-// rows with it so EXPERIMENTS.md can quote output verbatim.
+// rows with it so experiment write-ups can quote output verbatim
+// (docs/DESIGN.md §5).
 #pragma once
 
 #include <iostream>
