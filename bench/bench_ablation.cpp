@@ -13,6 +13,7 @@
 #include "proto/clique_embed.hpp"
 #include "proto/skeleton.hpp"
 #include "proto/token_routing.hpp"
+#include "util/bench_io.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -42,8 +43,9 @@ routing_spec make_spec(const graph& g, u64 seed, double p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybrid;
+  bench_recorder rec(argc, argv, "bench_ablation");
 
   print_section("E13a — helper-context reuse across embedded CLIQUE rounds");
   {
@@ -59,6 +61,7 @@ int main() {
       const u64 before = net.round();
       charge_clique_rounds(net, emb, 4);
       const u64 used = net.round() - before;
+      rec.add("context_reuse", {{"clique_rounds", 4}, {"hybrid_rounds", used}});
       t.add_row({"reuse context (ours)", "4",
                  table::integer(static_cast<long long>(used)),
                  table::num(used / 4.0, 1)});
@@ -83,6 +86,7 @@ int main() {
         run_token_routing(net, spec, batch);
       }
       const u64 used = net.round() - before;
+      rec.add("context_rebuild", {{"clique_rounds", 4}, {"hybrid_rounds", used}});
       t.add_row({"rebuild per round (Alg. 8 literal)", "4",
                  table::integer(static_cast<long long>(used)),
                  table::num(used / 4.0, 1)});
@@ -102,6 +106,10 @@ int main() {
       hybrid_net net(g, cfg, 85);
       run_token_routing(net, spec, batch);
       const run_metrics m = net.snapshot();
+      rec.add("gamma_sweep", {{"gamma_mult", gm},
+                              {"gamma", net.global_cap()},
+                              {"rounds", m.rounds},
+                              {"max_recv", m.max_global_recv_per_round}});
       t.add_row({table::num(gm, 0), table::integer(net.global_cap()),
                  table::integer(static_cast<long long>(m.rounds)),
                  table::integer(m.max_global_recv_per_round)});
@@ -143,6 +151,10 @@ int main() {
       for (u32 u = 0; u < g.num_nodes(); ++u)
         for (u32 v = 0; v < g.num_nodes(); ++v)
           wrong += (res.dist[u][v] != ref[u][v]);
+      rec.add("xi_sweep", {{"xi", xi},
+                           {"h", res.h},
+                           {"rounds", res.metrics.rounds},
+                           {"wrong", wrong}});
       t.add_row({table::num(xi, 2), table::integer(res.h),
                  table::integer(static_cast<long long>(res.metrics.rounds)),
                  table::integer(static_cast<long long>(wrong))});
@@ -152,5 +164,5 @@ int main() {
                  "and correctness degrades — the default xi=2 is the "
                  "cheapest reliably-exact setting at these sizes)\n";
   }
-  return 0;
+  return rec.write() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "core/apsp_baseline.hpp"
 #include "graph/generators.hpp"
 #include "graph/shortest_paths.hpp"
+#include "util/bench_io.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -32,7 +33,8 @@ u64 count_wrong(const std::vector<std::vector<u64>>& got, const graph& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench_recorder rec(argc, argv, "bench_apsp");
   print_section(
       "E2 / Theorem 1.1 — exact APSP: this paper (sqrt(n)) vs AHKSS20 "
       "baseline (n^{2/3})");
@@ -44,8 +46,20 @@ int main() {
   std::vector<double> ns, new_rounds, base_rounds;
   for (u32 n : {128, 256, 512, 1024, 2048}) {
     const graph g = gen::erdos_renyi_connected(n, 6.0, 16, 1000 + n);
-    const apsp_result a = hybrid_apsp_exact(g, model_config{}, 7 + n);
-    const apsp_baseline_result b = baseline_apsp_ahkss(g, model_config{}, 9 + n);
+    apsp_result a;
+    apsp_baseline_result b;
+    const double ms_a =
+        timed_ms([&] { a = hybrid_apsp_exact(g, model_config{}, 7 + n); });
+    const double ms_b =
+        timed_ms([&] { b = baseline_apsp_ahkss(g, model_config{}, 9 + n); });
+    rec.add("thm11_scaling", {{"n", n},
+                              {"rounds", a.metrics.rounds},
+                              {"messages", a.metrics.global_messages},
+                              {"wall_ms", ms_a}});
+    rec.add("ahkss_baseline", {{"n", n},
+                               {"rounds", b.metrics.rounds},
+                               {"messages", b.metrics.global_messages},
+                               {"wall_ms", ms_b}});
     ns.push_back(n);
     new_rounds.push_back(static_cast<double>(a.metrics.rounds));
     base_rounds.push_back(static_cast<double>(b.metrics.rounds));
@@ -141,5 +155,5 @@ int main() {
               << " (past feasible simulation; the exponent gap is the "
                  "paper's point — and NCC-only can never do APSP in o(n))\n";
   }
-  return 0;
+  return rec.write() ? 0 : 1;
 }

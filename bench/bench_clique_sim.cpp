@@ -13,10 +13,12 @@
 #include "graph/generators.hpp"
 #include "proto/clique_embed.hpp"
 #include "proto/skeleton.hpp"
+#include "util/bench_io.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybrid;
+  bench_recorder rec(argc, argv, "bench_clique_sim");
 
   print_section("E3 / Corollary 4.1 — cost of one CLIQUE round on a "
                 "skeleton of n^x nodes");
@@ -36,6 +38,12 @@ int main() {
       const double per_round =
           static_cast<double>(emb.hybrid_rounds_charged) / 2.0;
       const double pred = std::pow(n, 2 * x - 1) + std::pow(n, x / 2);
+      rec.add("cor41_cost_per_clique_round",
+              {{"n", n},
+               {"x", x},
+               {"skeleton", sk.nodes.size()},
+               {"rounds_per_clique_round", per_round},
+               {"predicted", pred}});
       t.add_row({table::integer(n), table::num(x, 3),
                  table::integer(static_cast<long long>(sk.nodes.size())),
                  table::integer(static_cast<long long>(emb.build_rounds)),
@@ -65,5 +73,5 @@ int main() {
                 table::integer(static_cast<long long>(sssp.declared_rounds(ns)))});
   }
   t2.print();
-  return 0;
+  return rec.write() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "core/diameter.hpp"
 #include "graph/diameter.hpp"
 #include "graph/generators.hpp"
+#include "util/bench_io.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -21,9 +22,18 @@ namespace {
 using namespace hybrid;
 
 void run_family(const char* name, const graph& g, u64 seed, table& t,
-                const clique_diameter_algorithm& alg) {
+                const clique_diameter_algorithm& alg, bench_recorder& rec,
+                const char* scenario) {
   const u32 d_true = hop_diameter(g);
-  const diameter_result res = hybrid_diameter(g, model_config{}, seed, alg);
+  diameter_result res;
+  const double ms =
+      timed_ms([&] { res = hybrid_diameter(g, model_config{}, seed, alg); });
+  rec.add(scenario, {{"n", g.num_nodes()},
+                     {"diameter", d_true},
+                     {"estimate", res.estimate},
+                     {"rounds", res.metrics.rounds},
+                     {"messages", res.metrics.global_messages},
+                     {"wall_ms", ms}});
   t.add_row({name, table::integer(g.num_nodes()),
              table::integer(static_cast<long long>(d_true)),
              table::integer(static_cast<long long>(res.estimate)),
@@ -36,8 +46,9 @@ void run_family(const char* name, const graph& g, u64 seed, table& t,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybrid;
+  bench_recorder rec(argc, argv, "bench_diameter");
 
   print_section(
       "E8 / Cor 5.2 — (3/2+eps)-diameter, eps=0.25, worst-case injected");
@@ -45,11 +56,15 @@ int main() {
             "Eq(3) branch", "rounds"});
   const auto alg32 = make_clique_diameter_32(0.25, injection::worst_case);
   run_family("ER deg8", gen::erdos_renyi_connected(1024, 8.0, 1, 11), 21, t1,
-             alg32);
-  run_family("grid 32x32", gen::grid(32, 32), 22, t1, alg32);
-  run_family("grid 8x128", gen::grid(8, 128), 23, t1, alg32);
-  run_family("path 1024", gen::path(1024), 24, t1, alg32);
-  run_family("path 3000", gen::path(3000), 25, t1, alg32);
+             alg32, rec, "cor52_families");
+  run_family("grid 32x32", gen::grid(32, 32), 22, t1, alg32, rec,
+             "cor52_families");
+  run_family("grid 8x128", gen::grid(8, 128), 23, t1, alg32, rec,
+             "cor52_families");
+  run_family("path 1024", gen::path(1024), 24, t1, alg32, rec,
+             "cor52_families");
+  run_family("path 3000", gen::path(3000), 25, t1, alg32, rec,
+             "cor52_families");
   t1.print();
 
   print_section(
@@ -58,10 +73,13 @@ int main() {
             "Eq(3) branch", "rounds"});
   const auto alg1e = make_clique_diameter_algebraic(0.25, injection::worst_case);
   run_family("ER deg8", gen::erdos_renyi_connected(1024, 8.0, 1, 31), 41, t2,
-             alg1e);
-  run_family("grid 32x32", gen::grid(32, 32), 42, t2, alg1e);
-  run_family("path 1024", gen::path(1024), 43, t2, alg1e);
-  run_family("path 3000", gen::path(3000), 44, t2, alg1e);
+             alg1e, rec, "cor53_families");
+  run_family("grid 32x32", gen::grid(32, 32), 42, t2, alg1e, rec,
+             "cor53_families");
+  run_family("path 1024", gen::path(1024), 43, t2, alg1e, rec,
+             "cor53_families");
+  run_family("path 3000", gen::path(3000), 44, t2, alg1e, rec,
+             "cor53_families");
   t2.print();
 
   print_section("E8b — rounds scaling of the (3/2+eps) algorithm (claim "
@@ -70,8 +88,13 @@ int main() {
   std::vector<double> ns, rounds_v;
   for (u32 n : {256, 512, 1024, 2048}) {
     const graph g = gen::erdos_renyi_connected(n, 8.0, 1, 300 + n);
-    const diameter_result res =
-        hybrid_diameter(g, model_config{}, 50 + n, alg32);
+    diameter_result res;
+    const double ms = timed_ms(
+        [&] { res = hybrid_diameter(g, model_config{}, 50 + n, alg32); });
+    rec.add("cor52_scaling", {{"n", n},
+                              {"rounds", res.metrics.rounds},
+                              {"messages", res.metrics.global_messages},
+                              {"wall_ms", ms}});
     ns.push_back(n);
     rounds_v.push_back(static_cast<double>(res.metrics.rounds));
     t3.add_row({table::integer(n),
@@ -83,5 +106,5 @@ int main() {
   std::cout << "\nraw fitted exponent: n^" << table::num(f.slope, 3)
             << " (claim 1/3 = 0.333 plus polylog; r2="
             << table::num(f.r2, 3) << ")\n";
-  return 0;
+  return rec.write() ? 0 : 1;
 }

@@ -23,6 +23,7 @@
 #include "graph/diameter.hpp"
 #include "graph/generators.hpp"
 #include "lb/gamma_graph.hpp"
+#include "util/bench_io.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -53,8 +54,9 @@ instance_pair make_pair(u32 k, u32 ell, u64 w, u64 seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybrid;
+  bench_recorder rec(argc, argv, "bench_diameter_lower_bound");
 
   print_section("E11a / Lemmas 7.1 + 7.2 — the diameter gap of Gamma^{a,b}");
   table t1({"k", "ell", "W", "diam(disjoint)", "<= W+2ell",
@@ -121,6 +123,13 @@ int main() {
     for (const auto& row : apsp.dist)
       for (u64 d : row) diam = std::max(diam, d);
     const bool diam_ok = diam == hop_diameter(gd.g);
+    rec.add("cut_instrumented_apsp",
+            {{"k", k},
+             {"ell", ell},
+             {"n", gd.g.num_nodes()},
+             {"rounds", apsp.metrics.rounds},
+             {"cut_bits", apsp.metrics.cut_bits},
+             {"diam_ok", diam_ok ? 1 : 0}});
 
     t3.add_row({table::integer(k), table::integer(ell),
                 table::integer(gd.g.num_nodes()),
@@ -167,6 +176,10 @@ int main() {
     const u64 dw = weighted_diameter(g);
     const weighted_diameter_result res =
         hybrid_weighted_diameter_2approx(g, model_config{}, 19 + n);
+    rec.add("weighted_2approx", {{"n", n},
+                                 {"diameter", dw},
+                                 {"estimate", res.estimate},
+                                 {"rounds", res.metrics.rounds}});
     t5.add_row({"ER W=16", table::integer(n),
                 table::integer(static_cast<long long>(dw)),
                 table::integer(static_cast<long long>(res.eccentricity)),
@@ -193,5 +206,5 @@ int main() {
   t5.print();
   std::cout << "\n(ratio in [1, 2] always; rounds follow the SSSP's "
                "Õ(n^{2/5}))\n";
-  return 0;
+  return rec.write() ? 0 : 1;
 }

@@ -1,0 +1,142 @@
+// Executor scaling: wall-clock throughput (simulated rounds/sec) of the
+// node-parallel round executor at 1/2/4/8 threads on the two driver shapes
+// the protocols use — LOCAL flooding (truncated eccentricity, Algorithm 9's
+// hello flood) and global token routing (Theorem 2.2).
+//
+// The determinism contract (docs/CONCURRENCY.md) promises bit-identical
+// results for every thread count; this bench asserts it on every scenario
+// while measuring the speedup. Usage:
+//
+//   bench_executor_scaling [flood_n] [routing_n] [--json <path>]
+//
+// Speedups track the machine's actual core count: on a single-core
+// container all thread counts measure ≈ 1×.
+#include <cmath>
+#include <iostream>
+#include <thread>
+
+#include "graph/generators.hpp"
+#include "proto/flood.hpp"
+#include "proto/token_routing.hpp"
+#include "util/assert.hpp"
+#include "util/bench_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybrid;
+
+constexpr u32 kThreadCounts[] = {1, 2, 4, 8};
+
+struct measurement {
+  run_metrics metrics;
+  double wall_ms = 0;
+};
+
+void report(const char* workload, u32 n, bench_recorder& rec,
+            const std::vector<measurement>& runs) {
+  table t({"workload", "n", "threads", "rounds", "messages", "wall ms",
+           "rounds/s", "speedup"});
+  const double base_ms = runs[0].wall_ms;
+  for (u32 i = 0; i < runs.size(); ++i) {
+    const measurement& m = runs[i];
+    // Identical rounds/messages at every thread count — the contract.
+    HYB_INVARIANT(m.metrics.rounds == runs[0].metrics.rounds &&
+                      m.metrics.global_messages ==
+                          runs[0].metrics.global_messages &&
+                      m.metrics.local_items == runs[0].metrics.local_items,
+                  "thread count changed simulation results");
+    const double rps = 1000.0 * static_cast<double>(m.metrics.rounds) /
+                       std::max(m.wall_ms, 1e-6);
+    const double speedup = base_ms / std::max(m.wall_ms, 1e-6);
+    t.add_row({workload, table::integer(n), table::integer(kThreadCounts[i]),
+               table::integer(static_cast<long long>(m.metrics.rounds)),
+               table::integer(static_cast<long long>(m.metrics.global_messages)),
+               table::num(m.wall_ms, 1), table::num(rps, 1),
+               table::num(speedup, 2)});
+    rec.add(workload, {{"n", static_cast<double>(n)},
+                       {"threads", static_cast<double>(kThreadCounts[i])},
+                       {"rounds", static_cast<double>(m.metrics.rounds)},
+                       {"messages",
+                        static_cast<double>(m.metrics.global_messages)},
+                       {"wall_ms", m.wall_ms},
+                       {"rounds_per_sec", rps},
+                       {"speedup", speedup}});
+  }
+  t.print();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_recorder rec(argc, argv, "bench_executor_scaling");
+  // Positional sizes come first and stop at the first flag; `--json <path>`
+  // follows them (sizes after a flag are not parsed).
+  std::vector<u32> sizes;
+  for (int i = 1; i < argc && argv[i][0] != '-'; ++i)
+    sizes.push_back(static_cast<u32>(std::atoi(argv[i])));
+  const u32 flood_n = sizes.size() > 0 ? sizes[0] : 4096;
+  const u32 routing_n = sizes.size() > 1 ? sizes[1] : 2048;
+
+  print_section("Executor scaling — node-parallel round steps");
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << "; results are asserted identical across thread counts\n\n";
+
+  {
+    const graph g = gen::erdos_renyi_connected(flood_n, 6.0, 1, 17);
+    // Enough rounds to saturate the hello flood (ER diameter is O(log n)).
+    const u32 rounds = 4 * id_bits(flood_n);
+    std::vector<measurement> runs;
+    for (u32 threads : kThreadCounts) {
+      measurement m;
+      m.wall_ms = timed_ms([&] {
+        hybrid_net net(g, model_config{}, 5, sim_options{threads});
+        const auto ecc = truncated_eccentricity(net, rounds);
+        HYB_INVARIANT(!ecc.empty(), "flood produced no result");
+        m.metrics = net.snapshot();
+      });
+      runs.push_back(m);
+    }
+    report("flood", flood_n, rec, runs);
+  }
+
+  {
+    const graph g = gen::erdos_renyi_connected(routing_n, 6.0, 1, 29);
+    // Every 8th node is a sender, every 16th a receiver; one token per
+    // (sender, receiver) pair.
+    routing_spec spec;
+    for (u32 v = 0; v < routing_n; ++v) {
+      if (v % 8 == 0) spec.senders.push_back(v);
+      if (v % 16 == 0) spec.receivers.push_back(v);
+    }
+    spec.p_s = 1.0 / 8;
+    spec.p_r = 1.0 / 16;
+    spec.k_s = spec.receivers.size();
+    spec.k_r = spec.senders.size();
+    std::vector<std::vector<routed_token>> batch(spec.senders.size());
+    for (u32 i = 0; i < spec.senders.size(); ++i)
+      for (u32 j = 0; j < spec.receivers.size(); ++j)
+        batch[i].push_back({spec.senders[i], spec.receivers[j], 0,
+                            (u64{i} << 32) | j});
+    std::vector<measurement> runs;
+    for (u32 threads : kThreadCounts) {
+      measurement m;
+      m.wall_ms = timed_ms([&] {
+        hybrid_net net(g, model_config{}, 7, sim_options{threads});
+        const auto delivered = run_token_routing(net, spec, batch);
+        HYB_INVARIANT(delivered.size() == spec.receivers.size(),
+                      "routing lost receivers");
+        m.metrics = net.snapshot();
+      });
+      runs.push_back(m);
+    }
+    report("token_routing", routing_n, rec, runs);
+  }
+
+  if (!rec.write()) {
+    std::cerr << "failed to write --json output\n";
+    return 1;
+  }
+  return 0;
+}

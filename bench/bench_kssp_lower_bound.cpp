@@ -17,10 +17,12 @@
 #include "core/kssp_framework.hpp"
 #include "graph/shortest_paths.hpp"
 #include "lb/kssp_lb_graph.hpp"
+#include "util/bench_io.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybrid;
+  bench_recorder rec(argc, argv, "bench_kssp_lower_bound");
 
   print_section("E10 / Theorem 1.5, Figure 1 — k-SSP lower bound family");
   std::cout << "instance: path of Theta(n) hops, k sources split randomly "
@@ -86,6 +88,11 @@ int main() {
     const kssp_result res = hybrid_kssp(inst.g, cfg, 5, inst.sources, alg);
 
     const double sqrt_k = std::sqrt(static_cast<double>(k));
+    rec.add("lb_consistency", {{"k", k},
+                               {"n", inst.g.num_nodes()},
+                               {"rounds", res.metrics.rounds},
+                               {"messages", res.metrics.global_messages},
+                               {"cut_bits", res.metrics.cut_bits}});
     t2.add_row({table::integer(k), table::integer(inst.g.num_nodes()),
                 table::integer(static_cast<long long>(res.metrics.rounds)),
                 table::num(sqrt_k, 1),
@@ -99,5 +106,5 @@ int main() {
                "with the lower bound (the UB includes the Õ(n^{1/3}) "
                "framework terms); crossing bits >= k confirms the split's "
                "entropy really flowed through the bottleneck)\n";
-  return 0;
+  return rec.write() ? 0 : 1;
 }

@@ -13,11 +13,13 @@
 #include "graph/diameter.hpp"
 #include "graph/generators.hpp"
 #include "graph/shortest_paths.hpp"
+#include "util/bench_io.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hybrid;
+  bench_recorder rec(argc, argv, "bench_sssp");
 
   print_section("E7 / Theorem 1.3 — exact SSSP scaling (claim n^{0.4})");
   std::cout << "graphs: weighted Erdős–Rényi (avg deg 6, W=16).\n";
@@ -26,10 +28,17 @@ int main() {
   std::vector<double> ns, rounds_v;
   for (u32 n : {256, 512, 1024, 2048, 4096}) {
     const graph g = gen::erdos_renyi_connected(n, 6.0, 16, 100 + n);
-    const sssp_result res = hybrid_sssp_exact(g, model_config{}, 3 + n, 0);
+    sssp_result res;
+    const double ms =
+        timed_ms([&] { res = hybrid_sssp_exact(g, model_config{}, 3 + n, 0); });
     const auto ref = dijkstra(g, 0);
     u64 wrong = 0;
     for (u32 v = 0; v < n; ++v) wrong += (res.dist[v] != ref[v]);
+    rec.add("er_scaling", {{"n", n},
+                           {"rounds", res.metrics.rounds},
+                           {"messages", res.metrics.global_messages},
+                           {"wall_ms", ms},
+                           {"wrong", wrong}});
     ns.push_back(n);
     rounds_v.push_back(static_cast<double>(res.metrics.rounds));
     const double pred = std::pow(n, 0.4) * std::log(n);
@@ -59,7 +68,13 @@ int main() {
             "shape)", "ratio rounds/sqrt(SPD)"});
   for (u32 n : {512, 1024, 2048, 4096}) {
     const graph g = gen::path(n, 16, 7 + n);
-    const sssp_result res = hybrid_sssp_exact(g, model_config{}, 11 + n, 0);
+    sssp_result res;
+    const double ms = timed_ms(
+        [&] { res = hybrid_sssp_exact(g, model_config{}, 11 + n, 0); });
+    rec.add("path_large_spd", {{"n", n},
+                               {"rounds", res.metrics.rounds},
+                               {"messages", res.metrics.global_messages},
+                               {"wall_ms", ms}});
     const auto ref = dijkstra(g, 0);
     u64 wrong = 0;
     for (u32 v = 0; v < n; ++v) wrong += (res.dist[v] != ref[v]);
@@ -73,5 +88,5 @@ int main() {
   t2.print();
   std::cout << "\n(the ratio column shrinking with n is the crossover: "
                "Õ(n^{2/5}) beats Õ(√SPD) once SPD = Θ(n))\n";
-  return 0;
+  return rec.write() ? 0 : 1;
 }

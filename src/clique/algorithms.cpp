@@ -213,8 +213,10 @@ std::vector<std::vector<u64>> naive_clique_apsp(clique_net& net,
   // gathered[v][i][j]: what v has learned of the matrix.
   std::vector<std::vector<std::vector<u64>>> gathered(
       n_s, std::vector<std::vector<u64>>(n_s, std::vector<u64>(n_s, kInfDist)));
+  // Node-parallel rounds (docs/CONCURRENCY.md): i sends from its own
+  // budget, v writes only its own gathered slice.
   for (u32 r = 0; r < n_s; ++r) {
-    for (u32 i = 0; i < n_s; ++i)
+    net.executor().for_nodes(n_s, [&](u32 i) {
       for (u32 dst = 0; dst < n_s; ++dst) {
         clique_msg m;
         m.src = i;
@@ -225,10 +227,12 @@ std::vector<std::vector<u64>> naive_clique_apsp(clique_net& net,
         m.nw = 2;
         net.send(m);
       }
+    });
     net.advance_round();
-    for (u32 v = 0; v < n_s; ++v)
+    net.executor().for_nodes(n_s, [&](u32 v) {
       for (const clique_msg& m : net.inbox(v))
         gathered[v][m.src][static_cast<u32>(m.w[0])] = m.w[1];
+    });
   }
   // All nodes now solve the same instance locally; compute once and verify
   // one node's copy matches the instance.
@@ -253,8 +257,8 @@ std::vector<u64> bellman_ford_clique_sssp(clique_net& net,
   changed[source] = 1;
   bool any = true;
   while (any) {
-    for (u32 v = 0; v < n_s; ++v) {
-      if (!changed[v]) continue;
+    net.executor().for_nodes(n_s, [&](u32 v) {
+      if (!changed[v]) return;
       for (const auto& [to, w] : (*prob.edges)[v]) {
         (void)w;
         clique_msg m;
@@ -265,12 +269,12 @@ std::vector<u64> bellman_ford_clique_sssp(clique_net& net,
         net.send(m);
       }
       changed[v] = 0;
-    }
+    });
     net.advance_round();
-    any = false;
-    for (u32 v = 0; v < n_s; ++v) {
+    any = net.executor().sum_nodes(n_s, [&](u32 v) -> u64 {
       // Relax against the senders' skeleton edge weights (v knows its own
       // incident weights).
+      u64 improved = 0;
       for (const clique_msg& m : net.inbox(v)) {
         for (const auto& [to, w] : (*prob.edges)[v]) {
           if (to != m.src) continue;
@@ -278,11 +282,12 @@ std::vector<u64> bellman_ford_clique_sssp(clique_net& net,
           if (nd < dist[v]) {
             dist[v] = nd;
             changed[v] = 1;
-            any = true;
+            improved = 1;
           }
         }
       }
-    }
+      return improved;
+    }) != 0;
   }
   return dist;
 }

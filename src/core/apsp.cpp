@@ -12,8 +12,8 @@
 namespace hybrid {
 
 apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
-                              u64 seed, bool build_routes) {
-  hybrid_net net(g, cfg, seed);
+                              u64 seed, bool build_routes, sim_options opts) {
+  hybrid_net net(g, cfg, seed, opts);
   const u32 n = net.n();
   apsp_result out;
 
@@ -36,14 +36,15 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
   const std::vector<std::vector<u64>> dist_s = skeleton_apsp(sk);
 
   // Every node v: d(v, s) = min_{u near v} d_h(v, u) + d_S(u, s)
-  // (free local computation; all inputs are known to v).
+  // (free local computation; all inputs are known to v — parallel over v).
   std::vector<std::vector<u64>> to_skel(n, std::vector<u64>(n_s, kInfDist));
-  for (u32 v = 0; v < n; ++v)
+  net.executor().for_nodes(n, [&](u32 v) {
     for (const source_distance& sd : sk.near[v])
       for (u32 s = 0; s < n_s; ++s) {
         const u64 cand = sd.dist + dist_s[sd.source][s];
         to_skel[v][s] = std::min(to_skel[v][s], cand);
       }
+  });
 
   // ---- 3. token routing: every v sends d(v, s) to each s ∈ V_S -----------
   net.begin_phase("token_routing");
@@ -63,12 +64,12 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
   }
   const auto delivered = run_token_routing(net, std::move(spec), batch);
 
-  // labels[s][v] = d(s, v) assembled at skeleton node s.
+  // labels[s][v] = d(s, v) assembled at skeleton node s (parallel over s).
   std::vector<std::vector<u64>> labels(n_s, std::vector<u64>(n, kInfDist));
-  for (u32 s = 0; s < n_s; ++s) {
+  net.executor().for_nodes(n_s, [&](u32 s) {
     HYB_INVARIANT(delivered[s].size() == n, "skeleton node missed tokens");
     for (const routed_token& t : delivered[s]) labels[s][t.sender] = t.payload;
-  }
+  });
 
   // ---- 4. label flood + parallel local exploration + assembly ------------
   net.begin_phase("label_flood");
@@ -78,8 +79,10 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
   const auto local_dist =
       full_local_exploration(net, sk.h, /*advance_rounds=*/false);
 
+  // The O(n²·|near|) assembly is the simulator's hottest loop; each node u
+  // writes only its own distance row, so it runs node-parallel.
   out.dist.assign(n, std::vector<u64>(n, kInfDist));
-  for (u32 u = 0; u < n; ++u) {
+  net.executor().for_nodes(n, [&](u32 u) {
     std::vector<u64>& row = out.dist[u];
     row = local_dist[u];
     for (const source_distance& sd : sk.near[u]) {
@@ -87,7 +90,7 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
       for (u32 v = 0; v < n; ++v)
         row[v] = std::min(row[v], sd.dist + lbl[v]);
     }
-  }
+  });
 
   if (build_routes) {
     // One more LOCAL round: every node shares its (exact) distance vector
@@ -99,7 +102,7 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
     net.charge_local(2 * g.num_edges() * n);
     net.advance_round();
     out.next_hop.assign(n, std::vector<u32>(n, ~u32{0}));
-    for (u32 u = 0; u < n; ++u) {
+    net.executor().for_nodes(n, [&](u32 u) {
       out.next_hop[u][u] = u;
       for (const edge& e : net.g().neighbors(u)) {
         const std::vector<u64>& nbr = out.dist[e.to];
@@ -111,7 +114,7 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
             out.next_hop[u][v] = e.to;
         }
       }
-    }
+    });
   }
   out.metrics = net.snapshot();
   return out;

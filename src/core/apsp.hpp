@@ -35,8 +35,11 @@ struct apsp_result {
 /// Theorem 1.1. With `build_routes` every node additionally derives its
 /// next-hop routing table from information it already holds (free local
 /// computation: the local exploration's first hops and its chosen skeleton
-/// gateway), so the round complexity is unchanged.
+/// gateway), so the round complexity is unchanged. `opts` selects the
+/// executor thread count (docs/CONCURRENCY.md); results are bit-identical
+/// for every thread count.
 apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
-                              u64 seed, bool build_routes = false);
+                              u64 seed, bool build_routes = false,
+                              sim_options opts = {});
 
 }  // namespace hybrid

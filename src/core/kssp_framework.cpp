@@ -15,7 +15,7 @@ namespace hybrid {
 kssp_result hybrid_kssp(const graph& g, const model_config& cfg, u64 seed,
                         std::vector<u32> sources,
                         const clique_sp_algorithm& alg,
-                        bool source_into_skeleton) {
+                        bool source_into_skeleton, sim_options opts) {
   HYB_REQUIRE(!sources.empty(), "need at least one source");
   HYB_REQUIRE(!source_into_skeleton || sources.size() == 1,
               "γ = 0 mode requires a single source");
@@ -24,7 +24,7 @@ kssp_result hybrid_kssp(const graph& g, const model_config& cfg, u64 seed,
     HYB_REQUIRE(uniq.size() == sources.size(), "sources must be distinct");
   }
 
-  hybrid_net net(g, cfg, seed);
+  hybrid_net net(g, cfg, seed, opts);
   const u32 n = net.n();
   kssp_result out;
   out.sources = sources;
@@ -103,16 +103,18 @@ kssp_result hybrid_kssp(const graph& g, const model_config& cfg, u64 seed,
       /*advance_rounds=*/false);
   std::vector<std::vector<u64>> local(sources.size(),
                                       std::vector<u64>(n, kInfDist));
-  for (u32 v = 0; v < n; ++v)
-    for (const source_distance& sd : explo[v])
-      local[sd.source][v] = sd.dist;
+  net.executor().for_nodes(n, [&](u32 v) {
+    for (const source_distance& sd : explo[v]) local[sd.source][v] = sd.dist;
+  });
 
   // ---- 5. assemble Equation (1) -------------------------------------------
+  // Free local computation at every node v; parallel over v (each v writes
+  // only column v of the result).
   out.dist.assign(sources.size(), std::vector<u64>(n, kInfDist));
   for (u32 j = 0; j < sources.size(); ++j) {
     const std::vector<u64>& est_row_of = est[rep_slot[j]];
     const u64 rep_leg = reps.dist_to_rep[j];
-    for (u32 v = 0; v < n; ++v) {
+    net.executor().for_nodes(n, [&](u32 v) {
       u64 best = local[j][v];
       for (const source_distance& sd : sk.near[v]) {
         const u64 mid = est_row_of[sd.source];
@@ -120,7 +122,7 @@ kssp_result hybrid_kssp(const graph& g, const model_config& cfg, u64 seed,
         best = std::min(best, sd.dist + mid + rep_leg);
       }
       out.dist[j][v] = best;
-    }
+    });
   }
 
   out.metrics = net.snapshot();

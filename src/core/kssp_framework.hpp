@@ -43,10 +43,13 @@ struct kssp_result {
 };
 
 /// Algorithm 5. `source_into_skeleton` is the γ = 0 mode of Lemma 4.5 and
-/// requires exactly one source.
+/// requires exactly one source. `opts` selects the executor thread count
+/// for the node-parallel round steps (docs/CONCURRENCY.md); results are
+/// bit-identical for every thread count.
 kssp_result hybrid_kssp(const graph& g, const model_config& cfg, u64 seed,
                         std::vector<u32> sources,
                         const clique_sp_algorithm& alg,
-                        bool source_into_skeleton = false);
+                        bool source_into_skeleton = false,
+                        sim_options opts = {});
 
 }  // namespace hybrid

@@ -17,7 +17,9 @@ struct sssp_result {
   u32 h = 0;
 };
 
+/// `opts` selects the executor thread count (docs/CONCURRENCY.md); results
+/// are bit-identical for every thread count.
 sssp_result hybrid_sssp_exact(const graph& g, const model_config& cfg,
-                              u64 seed, u32 source);
+                              u64 seed, u32 source, sim_options opts = {});
 
 }  // namespace hybrid

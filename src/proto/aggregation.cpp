@@ -51,61 +51,64 @@ u64 global_aggregate(hybrid_net& net, agg_op op,
   for (u32 v = 0; v < n; ++v) depth[v] = tree_depth_of(v);
   for (u32 v = 1; v < n; ++v) ++pending_children[(v - 1) / 2];
 
+  round_executor& exec = net.executor();
   std::vector<u64> acc = values;
   // Convergecast: a node sends up once all children have reported; leaves
   // at the deepest level go first, so the whole up-phase takes max_depth
-  // rounds in lockstep.
+  // rounds in lockstep. Each node's step touches only its own accumulator,
+  // child counter, and send budget, so the rounds run node-parallel.
   for (u32 r = 0; r < max_depth; ++r) {
-    for (u32 v = 0; v < n; ++v)
+    exec.for_nodes(n, [&](u32 v) {
       for (const global_msg& m : net.global_inbox(v))
         if (m.tag == kUpTag) {
           acc[v] = combine(op, acc[v], m.w[0]);
           HYB_INVARIANT(pending_children[v] > 0, "unexpected child report");
           --pending_children[v];
         }
-    for (u32 v = 1; v < n; ++v) {
-      if (depth[v] == max_depth - r && pending_children[v] == 0) {
+      if (v != 0 && depth[v] == max_depth - r && pending_children[v] == 0) {
         const bool ok = net.try_send_global(
             global_msg::make(v, (v - 1) / 2, kUpTag, {acc[v]}));
         HYB_INVARIANT(ok, "aggregation exceeded the global send cap");
       }
-    }
+    });
     net.advance_round();
   }
   // Drain reports that arrived in the final up round (children at depth 1).
-  for (u32 v = 0; v < n; ++v)
+  exec.for_nodes(n, [&](u32 v) {
     for (const global_msg& m : net.global_inbox(v))
       if (m.tag == kUpTag) acc[v] = combine(op, acc[v], m.w[0]);
+  });
 
   // Broadcast down.
   std::vector<char> have(n, 0);
   have[0] = 1;
   for (u32 r = 0; r <= max_depth; ++r) {
-    for (u32 v = 0; v < n; ++v)
+    const u64 sent = exec.sum_nodes(n, [&](u32 v) -> u64 {
       for (const global_msg& m : net.global_inbox(v))
         if (m.tag == kDownTag) {
           acc[v] = m.w[0];
           have[v] = 1;
         }
-    bool sent_any = false;
-    for (u32 v = 0; v < n; ++v) {
-      if (!have[v] || depth[v] != r) continue;
+      if (!have[v] || depth[v] != r) return 0;
+      u64 mine = 0;
       for (u32 c : {2 * v + 1, 2 * v + 2}) {
         if (c < n) {
           const bool ok = net.try_send_global(
               global_msg::make(v, c, kDownTag, {acc[v]}));
           HYB_INVARIANT(ok, "aggregation exceeded the global send cap");
-          sent_any = true;
+          ++mine;
         }
       }
-    }
+      return mine;
+    });
     net.advance_round();
-    if (!sent_any && r == max_depth) break;
+    if (sent == 0 && r == max_depth) break;
   }
   // Deliver the last hop.
-  for (u32 v = 0; v < n; ++v)
+  exec.for_nodes(n, [&](u32 v) {
     for (const global_msg& m : net.global_inbox(v))
       if (m.tag == kDownTag) acc[v] = m.w[0];
+  });
 
   const u64 result = acc[0];
   for (u32 v = 0; v < n; ++v)

@@ -88,12 +88,17 @@ dissemination_result disseminate(hybrid_net& net,
   const u32 cadence = 16;  // gossip rounds between termination checks
   u64 budget = 4 * (isqrt(k) + ceil_div(ell * seed_copies, net.global_cap())) +
                cadence;
+  round_executor& exec = net.executor();
   bool done = false;
   while (!done) {
     for (u64 r = 0; r < budget && !done; ++r) {
-      // Global pushes: seeding first, then uniform random gossip.
-      for (u32 v = 0; v < n; ++v) {
-        rng& rv = net.node_rng(v);
+      // Global pushes (seeding first, then uniform random gossip) and the
+      // pull side of the local flood run node-parallel: node v draws from
+      // its (seed, v, round) stream, spends its own γ budget, and collects
+      // fresh tokens from its neighbors' frozen fresh-lists.
+      std::vector<std::vector<u32>> inject(n);
+      const u64 items = exec.sum_nodes(n, [&](u32 v) -> u64 {
+        rng rv = net.round_rng(v);
         while (!st[v].seed_queue.empty() && net.global_budget(v) > 0) {
           auto& [idx, left] = st[v].seed_queue.back();
           const u32 dst = static_cast<u32>(rv.next_below(n));
@@ -109,30 +114,29 @@ dissemination_result disseminate(hybrid_net& net,
           net.try_send_global(
               global_msg::make(v, dst, kTokenTag, {t.a, t.b, idx}));
         }
-      }
-      // Local flooding of everything learned since the last round.
-      u64 items = 0;
-      std::vector<std::vector<u32>> inject(n);
-      for (u32 v = 0; v < n; ++v) {
-        if (st[v].fresh.empty()) continue;
+        // Local flooding, pull side: read neighbors' fresh-lists (frozen
+        // this round; cleared only after the barrier below).
+        u64 mine = 0;
         for (const edge& e : g.neighbors(v)) {
-          items += st[v].fresh.size();
-          for (u32 idx : st[v].fresh)
-            if (!st[e.to].knows(idx)) inject[e.to].push_back(idx);
+          const std::vector<u32>& from = st[e.to].fresh;
+          mine += from.size();
+          for (u32 idx : from)
+            if (!st[v].knows(idx)) inject[v].push_back(idx);
         }
-        st[v].fresh.clear();
-      }
+        return mine;
+      });
+      exec.for_nodes(n, [&](u32 v) { st[v].fresh.clear(); });
       net.charge_local(items);
       net.advance_round();
-      for (u32 v = 0; v < n; ++v)
+      exec.for_nodes(n, [&](u32 v) {
         for (u32 idx : inject[v])
           if (!st[v].knows(idx)) st[v].learn(idx);
-      for (u32 v = 0; v < n; ++v)
         for (const global_msg& m : net.global_inbox(v)) {
           if (m.tag != kTokenTag) continue;
           const u32 idx = static_cast<u32>(m.w[2]);
           if (!st[v].knows(idx)) st[v].learn(idx);
         }
+      });
       // Termination check at fixed cadence (aggregation rounds are charged
       // by global_aggregate itself).
       if ((r + 1) % cadence == 0) {

@@ -1,3 +1,9 @@
+// Pull-based implementations of the LOCAL primitives, run node-parallel on
+// the round executor (docs/CONCURRENCY.md). Each node's step reads its
+// neighbors' round-frozen frontiers and writes only its own rows, so the
+// executor may run nodes concurrently; since adjacency lists are sorted by
+// node ID, the pull order reproduces the classic sequential push order
+// bit-for-bit (same known/next orderings, same tie-breaks).
 #include "proto/flood.hpp"
 
 #include <algorithm>
@@ -27,20 +33,21 @@ std::vector<std::vector<discovered_seed>> hop_discovery(
   }
   for (u32 r = 1; r <= rounds; ++r) {
     std::vector<std::vector<u32>> next(n);
-    u64 items = 0;
-    for (u32 v = 0; v < n; ++v) {
-      if (frontier[v].empty()) continue;
+    const u64 items = net.executor().sum_nodes(n, [&](u32 v) -> u64 {
+      u64 mine = 0;
       for (const edge& e : g.neighbors(v)) {
-        items += frontier[v].size();
-        for (u32 i : frontier[v]) {
-          if (!seen[e.to][i]) {
-            seen[e.to][i] = 1;
-            known[e.to].push_back({i, r});
-            next[e.to].push_back(i);
+        const std::vector<u32>& from = frontier[e.to];
+        mine += from.size();
+        for (u32 i : from) {
+          if (!seen[v][i]) {
+            seen[v][i] = 1;
+            known[v].push_back({i, r});
+            next[v].push_back(i);
           }
         }
       }
-    }
+      return mine;
+    });
     net.charge_local(items);
     net.advance_round();
     frontier = std::move(next);
@@ -90,36 +97,35 @@ std::vector<std::vector<source_distance>> limited_bellman_ford(
   }
   for (u32 r = 0; r < h; ++r) {
     std::vector<std::vector<source_distance>> next(n);
-    u64 items = 0;
-    bool any = false;
-    for (u32 v = 0; v < n; ++v) {
-      if (frontier[v].empty()) continue;
+    const u64 items = net.executor().sum_nodes(n, [&](u32 v) -> u64 {
+      u64 mine = 0;
       for (const edge& e : g.neighbors(v)) {
-        items += frontier[v].size();
-        for (const source_distance& f : frontier[v]) {
+        const std::vector<source_distance>& from = frontier[e.to];
+        mine += from.size();
+        for (const source_distance& f : from) {
           const u64 nd = f.dist + e.weight;
-          if (nd < dist[e.to][f.source]) {
-            dist[e.to][f.source] = nd;
-            via[e.to][f.source] = v;
-            next[e.to].push_back({f.source, nd, v});
-            any = true;
+          if (nd < dist[v][f.source]) {
+            dist[v][f.source] = nd;
+            via[v][f.source] = e.to;
+            next[v].push_back({f.source, nd, e.to});
           }
         }
       }
-    }
+      // Drop superseded entries (a later, smaller update for the same
+      // source makes earlier queued ones redundant). dist[v] is final for
+      // the round once this step ends — only v's own step writes it.
+      next[v].erase(std::remove_if(next[v].begin(), next[v].end(),
+                                   [&](const source_distance& sd) {
+                                     return sd.dist != dist[v][sd.source];
+                                   }),
+                    next[v].end());
+      return mine;
+    });
     net.charge_local(items);
     if (advance_rounds) net.advance_round();
-    // Drop superseded frontier entries (a later, smaller update for the
-    // same source makes earlier queued ones redundant).
-    for (u32 v = 0; v < n; ++v) {
-      auto& f = next[v];
-      f.erase(std::remove_if(f.begin(), f.end(),
-                             [&](const source_distance& sd) {
-                               return sd.dist != dist[v][sd.source];
-                             }),
-              f.end());
-    }
     frontier = std::move(next);
+    bool any = false;
+    for (const auto& f : frontier) any |= !f.empty();
     if (!any) {
       if (advance_rounds)
         for (u32 rest = r + 1; rest < h; ++rest) net.advance_round();
@@ -152,34 +158,32 @@ std::vector<std::vector<u64>> full_local_exploration(
   }
   for (u32 r = 0; r < h; ++r) {
     std::vector<std::vector<source_distance>> next(n);
-    u64 items = 0;
-    bool any = false;
-    for (u32 v = 0; v < n; ++v) {
-      if (frontier[v].empty()) continue;
+    const u64 items = net.executor().sum_nodes(n, [&](u32 v) -> u64 {
+      u64 mine = 0;
       for (const edge& e : g.neighbors(v)) {
-        items += frontier[v].size();
-        for (const source_distance& f : frontier[v]) {
+        const std::vector<source_distance>& from = frontier[e.to];
+        mine += from.size();
+        for (const source_distance& f : from) {
           const u64 nd = f.dist + e.weight;
-          if (nd < dist[e.to][f.source]) {
-            dist[e.to][f.source] = nd;
-            if (first_hop) (*first_hop)[e.to][f.source] = v;
-            next[e.to].push_back({f.source, nd, v});
-            any = true;
+          if (nd < dist[v][f.source]) {
+            dist[v][f.source] = nd;
+            if (first_hop) (*first_hop)[v][f.source] = e.to;
+            next[v].push_back({f.source, nd, e.to});
           }
         }
       }
-    }
+      next[v].erase(std::remove_if(next[v].begin(), next[v].end(),
+                                   [&](const source_distance& sd) {
+                                     return sd.dist != dist[v][sd.source];
+                                   }),
+                    next[v].end());
+      return mine;
+    });
     net.charge_local(items);
     if (advance_rounds) net.advance_round();
-    for (u32 v = 0; v < n; ++v) {
-      auto& f = next[v];
-      f.erase(std::remove_if(f.begin(), f.end(),
-                             [&](const source_distance& sd) {
-                               return sd.dist != dist[v][sd.source];
-                             }),
-              f.end());
-    }
     frontier = std::move(next);
+    bool any = false;
+    for (const auto& f : frontier) any |= !f.empty();
     if (!any) {
       if (advance_rounds)
         for (u32 rest = r + 1; rest < h; ++rest) net.advance_round();
@@ -212,20 +216,20 @@ std::vector<std::vector<u32>> table_flood(hybrid_net& net,
   }
   for (u32 r = 1; r <= rounds; ++r) {
     std::vector<std::vector<u32>> next(n);
-    u64 items = 0;
-    for (u32 v = 0; v < n; ++v) {
-      if (frontier[v].empty()) continue;
+    const u64 items = net.executor().sum_nodes(n, [&](u32 v) -> u64 {
+      u64 mine = 0;
       for (const edge& e : g.neighbors(v)) {
-        for (u32 i : frontier[v]) {
-          items += table_words[i];  // whole table crosses the edge
-          if (!seen[e.to][i]) {
-            seen[e.to][i] = 1;
-            holds[e.to].push_back(i);
-            next[e.to].push_back(i);
+        for (u32 i : frontier[e.to]) {
+          mine += table_words[i];  // whole table crosses the edge
+          if (!seen[v][i]) {
+            seen[v][i] = 1;
+            holds[v].push_back(i);
+            next[v].push_back(i);
           }
         }
       }
-    }
+      return mine;
+    });
     net.charge_local(items);
     net.advance_round();
     frontier = std::move(next);
@@ -254,22 +258,23 @@ std::vector<u32> truncated_eccentricity(hybrid_net& net, u32 rounds) {
   }
   for (u32 r = 1; r <= rounds; ++r) {
     std::vector<std::vector<u32>> next(n);
-    u64 items = 0;
-    for (u32 v = 0; v < n; ++v) {
-      if (frontier[v].empty()) continue;
+    const u64 items = net.executor().sum_nodes(n, [&](u32 v) -> u64 {
+      u64 mine = 0;
       for (const edge& e : g.neighbors(v)) {
-        items += frontier[v].size();
-        for (u32 id : frontier[v]) {
-          u64& word = seen[e.to][id / 64];
+        const std::vector<u32>& from = frontier[e.to];
+        mine += from.size();
+        for (u32 id : from) {
+          u64& word = seen[v][id / 64];
           const u64 bit = u64{1} << (id % 64);
           if (!(word & bit)) {
             word |= bit;
-            ecc[e.to] = r;
-            next[e.to].push_back(id);
+            ecc[v] = r;
+            next[v].push_back(id);
           }
         }
       }
-    }
+      return mine;
+    });
     net.charge_local(items);
     net.advance_round();
     frontier = std::move(next);

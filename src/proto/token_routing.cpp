@@ -164,6 +164,9 @@ std::vector<std::vector<routed_token>> route_tokens(
   std::vector<u64> send_cursor(n, 0), req_cursor(n, 0);
   for (u32 v = 0; v < n; ++v) want_left[v] = want[v].size();
 
+  round_executor& exec = net.executor();
+  // Read-only early-exit scan between barriers; cheaper sequential than as
+  // a pool dispatch (it usually bails at the first busy node).
   auto phase_done = [&]() {
     for (u32 v = 0; v < n; ++v)
       if (send_cursor[v] < send_tasks[v].size() || want_left[v] != 0)
@@ -175,10 +178,13 @@ std::vector<std::vector<routed_token>> route_tokens(
       16 * (total_routed / std::max<u64>(1, n) + spec.k_s + spec.k_r + n) +
       64;
   u64 spent = 0;
+  // Every node plays its three roles against its own queues, cursors, and
+  // send budget; the public hash is immutable, so both halves of the round
+  // run node-parallel on the executor.
   while (!phase_done()) {
     HYB_INVARIANT(spent++ < guard_rounds,
                   "token routing failed to make progress");
-    for (u32 v = 0; v < n; ++v) {
+    exec.for_nodes(n, [&](u32 v) {
       // Intermediate role first: answer what we can.
       while (!answer_queue[v].empty() && net.global_budget(v) > 0) {
         auto [lbl, dst] = answer_queue[v].front();
@@ -203,16 +209,17 @@ std::vector<std::vector<routed_token>> route_tokens(
         net.try_send_global(
             global_msg::make(v, intermediate_of(lbl), kRequestTag, {lbl}));
       }
-    }
+    });
     net.advance_round();
-    for (u32 v = 0; v < n; ++v) {
+    exec.for_nodes(n, [&](u32 v) {
       for (const global_msg& m : net.global_inbox(v)) {
         switch (m.tag) {
           case kTokenTag: {
             store[v].emplace(m.w[0], m.w[1]);
             auto p = pending[v].find(m.w[0]);
             if (p != pending[v].end()) {
-              for (u32 dst : p->second) answer_queue[v].push_back({m.w[0], dst});
+              for (u32 dst : p->second)
+                answer_queue[v].push_back({m.w[0], dst});
               pending[v].erase(p);
             }
             break;
@@ -234,7 +241,7 @@ std::vector<std::vector<routed_token>> route_tokens(
             break;
         }
       }
-    }
+    });
   }
   // Distributed completion detection, charged as one AND-aggregation.
   global_aggregate(net, agg_op::logical_and, std::vector<u64>(n, 1));

@@ -6,8 +6,8 @@
 
 namespace hybrid {
 
-clique_net::clique_net(u32 n)
-    : n_(n), inbox_(n), outbox_(n), sends_(n, 0) {
+clique_net::clique_net(u32 n, sim_options opts)
+    : n_(n), exec_(opts), inbox_(n), outbox_(n), sends_(n, 0) {
   HYB_REQUIRE(n >= 2, "clique needs at least two nodes");
 }
 
@@ -16,7 +16,6 @@ void clique_net::send(const clique_msg& m) {
   HYB_INVARIANT(sends_[m.src] < n_,
                 "node exceeded the n-messages-per-round clique cap");
   ++sends_[m.src];
-  ++total_msgs_;
   outbox_[m.src].push_back(m);
 }
 
@@ -27,6 +26,7 @@ void clique_net::advance_round() {
     sends_[v] = 0;
   }
   for (u32 v = 0; v < n_; ++v) {
+    total_msgs_ += outbox_[v].size();
     for (const clique_msg& m : outbox_[v]) inbox_[m.dst].push_back(m);
     outbox_[v].clear();
   }

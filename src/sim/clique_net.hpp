@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/executor.hpp"
 #include "util/bits.hpp"
 
 namespace hybrid {
@@ -28,15 +29,21 @@ struct clique_msg {
 
 class clique_net {
  public:
-  explicit clique_net(u32 n);
+  explicit clique_net(u32 n, sim_options opts = {});
 
   u32 n() const { return n_; }
   u64 round() const { return rounds_; }
   u32 max_recv_per_round() const { return max_recv_; }
   u64 total_messages() const { return total_msgs_; }
 
+  /// Node-parallel round executor; same determinism contract as the HYBRID
+  /// simulator (docs/CONCURRENCY.md).
+  round_executor& executor() { return exec_; }
+
   /// Enqueue for delivery at the next advance_round(). Enforces the
-  /// n-messages-per-node-per-round cap (Lenzen routing).
+  /// n-messages-per-node-per-round cap (Lenzen routing). Thread-safe across
+  /// distinct src within a parallel step: writes are src-private, totals
+  /// are accounted at delivery.
   void send(const clique_msg& m);
   u32 budget(u32 src) const { return n_ - sends_[src]; }
 
@@ -45,6 +52,7 @@ class clique_net {
 
  private:
   u32 n_;
+  round_executor exec_;
   u64 rounds_ = 0;
   u64 total_msgs_ = 0;
   u32 max_recv_ = 0;

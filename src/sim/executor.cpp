@@ -1,0 +1,151 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+u32 resolve_threads(const sim_options& opts) {
+  if (opts.threads != 0) return opts.threads;
+  if (const char* env = std::getenv("HYBRID_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<u32>(v);
+  }
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+round_executor::round_executor(sim_options opts)
+    : threads_(resolve_threads(opts)) {}
+
+round_executor::~round_executor() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void round_executor::spawn_workers() {
+  // Lazily started on the first parallel job; threads_ - 1 workers plus the
+  // calling thread process the shards.
+  if (!workers_.empty()) return;
+  workers_.reserve(threads_ - 1);
+  for (u32 i = 0; i + 1 < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void round_executor::worker_loop() {
+  u64 seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation && pending_shards_ > 0);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    run_job(seen_generation);
+  }
+}
+
+void round_executor::run_job(u64 my_generation) {
+  for (;;) {
+    const std::function<void(u32, u32, u32)>* job = nullptr;
+    u32 shard = 0, begin = 0, end = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A generation mismatch means this worker raced a completed job; its
+      // shards are gone, so there is nothing left to claim.
+      if (generation_ != my_generation || next_shard_ >= job_shards_) return;
+      shard = next_shard_++;
+      const u32 chunk = static_cast<u32>(ceil_div(job_n_, job_shards_));
+      begin = shard * chunk;
+      end = std::min(job_n_, begin + chunk);
+      job = job_;
+    }
+    try {
+      if (begin < end) (*job)(shard, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    bool last;
+    {
+      // The generation cannot have moved here: for_shards does not return
+      // (and thus no new job can start) until pending_shards_ hits zero,
+      // which requires this very decrement.
+      std::lock_guard<std::mutex> lock(mu_);
+      last = --pending_shards_ == 0;
+    }
+    if (last) done_cv_.notify_all();
+  }
+}
+
+void round_executor::for_shards(u32 n,
+                                const std::function<void(u32, u32, u32)>& body) {
+  if (n == 0) return;
+  const u32 shard_count = std::min(threads_, n);
+  if (shard_count <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  spawn_workers();
+  u64 gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Dispatch is not reentrant: a step callback calling back into the
+    // executor would clobber the in-flight job and break the barrier.
+    HYB_REQUIRE(job_ == nullptr,
+                "nested round_executor dispatch from inside a step");
+    job_ = &body;
+    job_n_ = n;
+    job_shards_ = shard_count;
+    next_shard_ = 0;
+    pending_shards_ = shard_count;
+    first_error_ = nullptr;
+    gen = ++generation_;
+  }
+  work_cv_.notify_all();
+  run_job(gen);  // the caller is a worker too
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_shards_ == 0; });
+    job_ = nullptr;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void round_executor::for_nodes(u32 n, const std::function<void(u32)>& step) {
+  for_shards(n, [&](u32, u32 begin, u32 end) {
+    for (u32 v = begin; v < end; ++v) step(v);
+  });
+}
+
+u64 round_executor::sum_nodes(u32 n, const std::function<u64(u32)>& term) {
+  if (n == 0) return 0;
+  std::vector<u64> partial(std::min(threads_, n), 0);
+  for_shards(n, [&](u32 shard, u32 begin, u32 end) {
+    u64 acc = 0;
+    for (u32 v = begin; v < end; ++v) acc += term(v);
+    partial[shard] = acc;
+  });
+  u64 total = 0;
+  for (u64 p : partial) total += p;
+  return total;
+}
+
+bool round_executor::any_node(u32 n, const std::function<bool(u32)>& pred) {
+  return sum_nodes(n, [&](u32 v) -> u64 { return pred(v) ? 1 : 0; }) != 0;
+}
+
+}  // namespace hybrid

@@ -1,0 +1,104 @@
+// Parallel round executor for the synchronous simulators.
+//
+// The HYBRID model (paper Section 1) is a synchronous round model: within a
+// round, nodes act on the state of the *previous* round only, so the
+// per-node protocol steps of one round are independent and can run
+// concurrently. `round_executor` exploits exactly that structure — and
+// nothing more:
+//
+//   * node IDs [0, n) are partitioned into contiguous shards, one per
+//     worker thread (static sharding, no work stealing);
+//   * each shard runs its nodes' step callbacks in ID order;
+//   * the executor joins all shards before returning — the round barrier —
+//     after which the caller may mutate shared state (advance_round()).
+//
+// Determinism contract (docs/CONCURRENCY.md): a step callback for node v
+// may read any round-frozen shared state but write only v-private state
+// (including v's outbox/budget inside hybrid_net). Under that discipline
+// every quantity the simulation produces is bit-identical for any thread
+// count, because each node's write sequence is a pure function of the
+// frozen round state. Reductions (`sum_nodes`) accumulate per shard and
+// combine over u64 addition, which is order-insensitive.
+//
+// Thread count resolution: sim_options{threads} wins when nonzero; else the
+// HYBRID_THREADS environment variable; else std::thread::hardware_concurrency.
+// One thread means strictly inline execution — no pool is ever spawned, so
+// single-threaded runs behave exactly like the pre-executor simulator.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace hybrid {
+
+struct sim_options {
+  /// Worker threads for node-parallel round steps. 0 = auto: the
+  /// HYBRID_THREADS environment variable when set to a positive integer,
+  /// else std::thread::hardware_concurrency().
+  u32 threads = 0;
+};
+
+/// The thread count `sim_options` resolves to (see above). Never 0.
+u32 resolve_threads(const sim_options& opts);
+
+class round_executor {
+ public:
+  explicit round_executor(sim_options opts = {});
+  ~round_executor();
+
+  round_executor(const round_executor&) = delete;
+  round_executor& operator=(const round_executor&) = delete;
+
+  u32 threads() const { return threads_; }
+
+  /// Run `step(v)` for every v in [0, n); returns after ALL nodes finished
+  /// (the round barrier). Steps must follow the determinism contract above.
+  /// Exceptions thrown by steps are rethrown here (first one wins).
+  /// Dispatching is not reentrant: a step must never call back into the
+  /// executor (enforced — nested dispatch throws).
+  void for_nodes(u32 n, const std::function<void(u32)>& step);
+
+  /// Shard-granular variant: `body(shard, begin, end)` runs once per
+  /// contiguous shard (`shard` ascending with `begin`). Use when the step
+  /// needs shard-local scratch; ranges are a static partition of [0, n)
+  /// and do not depend on scheduling.
+  void for_shards(u32 n, const std::function<void(u32, u32, u32)>& body);
+
+  /// Deterministic reduction: sum of `term(v)` over v in [0, n).
+  /// Accumulated per shard, combined in shard order; u64 addition is
+  /// order-insensitive, so the result is thread-count-invariant.
+  u64 sum_nodes(u32 n, const std::function<u64(u32)>& term);
+
+  /// True when `pred(v)` holds for at least one node (barrier included).
+  bool any_node(u32 n, const std::function<bool(u32)>& pred);
+
+ private:
+  void spawn_workers();
+  void worker_loop();
+  void run_job(u64 my_generation);
+
+  u32 threads_;
+
+  // Pool state (untouched when threads_ == 1).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  u64 generation_ = 0;
+  bool stop_ = false;
+  // Current job, valid while pending_shards_ > 0.
+  const std::function<void(u32, u32, u32)>* job_ = nullptr;
+  u32 job_n_ = 0;
+  u32 job_shards_ = 0;
+  u32 next_shard_ = 0;
+  u32 pending_shards_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hybrid

@@ -20,9 +20,11 @@ global_msg global_msg::make(u32 src, u32 dst, u32 tag,
   return m;
 }
 
-hybrid_net::hybrid_net(const graph& g, model_config cfg, u64 seed)
+hybrid_net::hybrid_net(const graph& g, model_config cfg, u64 seed,
+                       sim_options opts)
     : g_(&g),
       cfg_(cfg),
+      exec_(opts),
       inbox_(g.num_nodes()),
       outbox_(g.num_nodes()),
       sends_this_round_(g.num_nodes(), 0),
@@ -40,6 +42,8 @@ hybrid_net::hybrid_net(const graph& g, model_config cfg, u64 seed)
 }
 
 void hybrid_net::advance_round() {
+  // The round barrier: called from the orchestrating thread only, after the
+  // executor joined all per-node steps (docs/CONCURRENCY.md).
   ++metrics_.rounds;
   u32 max_recv = 0;
   for (u32 v = 0; v < n(); ++v) {
@@ -47,8 +51,16 @@ void hybrid_net::advance_round() {
     sends_this_round_[v] = 0;
   }
   // Two passes keep delivery independent of send order within the round.
+  // Aggregate metrics are accounted here rather than at send time so that
+  // try_send_global writes only src-private state during parallel steps.
   for (u32 v = 0; v < n(); ++v) {
-    for (const global_msg& m : outbox_[v]) inbox_[m.dst].push_back(m);
+    for (const global_msg& m : outbox_[v]) {
+      ++metrics_.global_messages;
+      metrics_.global_payload_words += m.nw;
+      if (!cut_side_.empty() && cut_side_[m.src] != cut_side_[m.dst])
+        metrics_.cut_bits += static_cast<u64>(m.nw) * 64 + header_bits_;
+      inbox_[m.dst].push_back(m);
+    }
     outbox_[v].clear();
   }
   for (u32 v = 0; v < n(); ++v)
@@ -63,10 +75,6 @@ bool hybrid_net::try_send_global(const global_msg& m) {
                 "payload exceeds the O(log n)-bit model cap");
   if (sends_this_round_[m.src] >= global_cap_) return false;
   ++sends_this_round_[m.src];
-  ++metrics_.global_messages;
-  metrics_.global_payload_words += m.nw;
-  if (!cut_side_.empty() && cut_side_[m.src] != cut_side_[m.dst])
-    metrics_.cut_bits += static_cast<u64>(m.nw) * 64 + header_bits_;
   outbox_[m.src].push_back(m);
   return true;
 }
@@ -83,6 +91,14 @@ rng& hybrid_net::node_rng(u32 v) {
   HYB_REQUIRE(v < n(), "node out of range");
   if (!node_rng_[v]) node_rng_[v].emplace(derive_seed(seed_, v));
   return *node_rng_[v];
+}
+
+rng hybrid_net::round_rng(u32 v) const {
+  HYB_REQUIRE(v < n(), "node out of range");
+  // Stream ids: v for the persistent per-node streams, ~0 for the public
+  // stream; the high bit keeps the per-round family disjoint from both.
+  const u64 node_stream = derive_seed(seed_, (u64{1} << 63) | v);
+  return rng(derive_seed(node_stream, metrics_.rounds));
 }
 
 void hybrid_net::begin_phase(std::string name) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/executor.hpp"
 #include "sim/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
@@ -66,11 +67,17 @@ struct global_msg {
 
 class hybrid_net {
  public:
-  hybrid_net(const graph& g, model_config cfg, u64 seed);
+  hybrid_net(const graph& g, model_config cfg, u64 seed,
+             sim_options opts = {});
 
   const graph& g() const { return *g_; }
   u32 n() const { return g_->num_nodes(); }
   const model_config& config() const { return cfg_; }
+
+  /// Node-parallel round executor (docs/CONCURRENCY.md). Protocol drivers
+  /// run their per-node round steps through this; within a step for node v,
+  /// only v-private state (and v's own send budget) may be written.
+  round_executor& executor() { return exec_; }
 
   /// γ: per-node global sends per round.
   u32 global_cap() const { return global_cap_; }
@@ -86,6 +93,9 @@ class hybrid_net {
   // ---- NCC global mode -------------------------------------------------
   /// Send if src still has budget this round; returns false when the γ cap
   /// is exhausted (callers keep the message queued for a later round).
+  /// Thread-safe across distinct src within one parallel round step: all
+  /// writes are src-private; aggregate metrics are accounted when the
+  /// delivering advance_round() closes the round.
   bool try_send_global(const global_msg& m);
   /// Remaining sends for src this round.
   u32 global_budget(u32 src) const;
@@ -97,7 +107,16 @@ class hybrid_net {
   void charge_local(u64 items) { metrics_.local_items += items; }
 
   // ---- randomness --------------------------------------------------------
+  /// Node v's persistent private stream, derived from (seed, v). Node-
+  /// private, so it is safe inside a parallel step as long as only v's own
+  /// step draws from it — but its draw positions depend on the node's whole
+  /// history. Prefer round_rng() in parallel step code.
   rng& node_rng(u32 v);
+  /// A fresh stream derived from (seed, v, round()) — the determinism
+  /// contract's randomness primitive (docs/CONCURRENCY.md): draws depend
+  /// only on the (seed, node, round) triple, never on scheduling or on how
+  /// many values other rounds consumed.
+  rng round_rng(u32 v) const;
   /// Shared public coins (the broadcastable seed of Lemma 2.3).
   rng& public_rng() { return public_rng_; }
 
@@ -117,6 +136,7 @@ class hybrid_net {
 
   const graph* g_;
   model_config cfg_;
+  round_executor exec_;
   u32 global_cap_;
   u32 hash_independence_;
   u32 header_bits_;

@@ -1,0 +1,59 @@
+#include "util/bench_io.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace hybrid {
+
+bench_recorder::bench_recorder(int argc, char** argv, std::string bench_name)
+    : bench_(std::move(bench_name)) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+}
+
+void bench_recorder::add(const std::string& scenario,
+                         std::vector<bench_field> fields) {
+  rows_.push_back({scenario, std::move(fields)});
+}
+
+namespace {
+
+// Numbers print as integers when integral (the common case: rounds,
+// messages, n) and with full precision otherwise.
+std::string json_number(double v) {
+  std::ostringstream os;
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15)
+    os << static_cast<long long>(v);
+  else
+    os << v;
+  return os.str();
+}
+
+}  // namespace
+
+bool bench_recorder::write() const {
+  if (!enabled()) return true;
+  std::ofstream out(path_);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out << "    {\"name\": \"" << rows_[i].scenario << "\"";
+    for (const bench_field& f : rows_[i].fields)
+      out << ", \"" << f.name << "\": " << json_number(f.value);
+    out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+double timed_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace hybrid

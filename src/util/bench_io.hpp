@@ -1,0 +1,64 @@
+// JSON output for the self-timing benches.
+//
+// Every bench binary accepts `--json <path>`; when given, it writes a
+// machine-readable record of the scenarios it ran (rounds, messages,
+// wall-clock, and bench-specific fields) next to the human-readable tables,
+// so perf PRs can track round/message/throughput trajectories across
+// commits (ROADMAP open item; CI uploads the BENCH_*.json files as an
+// artifact).
+//
+// Usage:
+//   bench_recorder rec(argc, argv, "bench_sssp");
+//   ...
+//   rec.add("scaling", {{"n", n}, {"rounds", rounds}, {"wall_ms", ms}});
+//   ...
+//   rec.write();   // no-op unless --json was passed
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace hybrid {
+
+/// One (name, value) cell; the template constructor absorbs any arithmetic
+/// type so call sites can pass u32/u64 counters without narrowing casts.
+struct bench_field {
+  std::string name;
+  double value;
+  template <class T>
+  bench_field(const char* field_name, T v)
+      : name(field_name), value(static_cast<double>(v)) {}
+};
+
+class bench_recorder {
+ public:
+  /// Parses `--json <path>` out of argv (leaves other arguments alone).
+  bench_recorder(int argc, char** argv, std::string bench_name);
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Record one scenario row. Values are doubles (u64 counters at bench
+  /// scales fit exactly).
+  void add(const std::string& scenario, std::vector<bench_field> fields);
+
+  /// Write the JSON file when --json was given; returns false on I/O error.
+  bool write() const;
+
+ private:
+  std::string bench_;
+  std::string path_;
+  struct row {
+    std::string scenario;
+    std::vector<bench_field> fields;
+  };
+  std::vector<row> rows_;
+};
+
+/// Milliseconds of wall-clock elapsed while running `fn` (steady clock).
+double timed_ms(const std::function<void()>& fn);
+
+}  // namespace hybrid
