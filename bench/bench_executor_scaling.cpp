@@ -1,16 +1,21 @@
 // Executor scaling: wall-clock throughput (simulated rounds/sec) of the
-// node-parallel round executor at 1/2/4/8 threads on the two driver shapes
-// the protocols use — LOCAL flooding (truncated eccentricity, Algorithm 9's
-// hello flood) and global token routing (Theorem 2.2).
+// node-parallel round executor at 1/2/4/8 threads on the three driver
+// shapes the protocols use — LOCAL flooding (truncated eccentricity,
+// Algorithm 9's hello flood), global token routing (Theorem 2.2), and the
+// raw γ-saturated mailbox delivery path (sim/mailbox.hpp's parallel
+// counting sort). Heap allocations per simulated round are reported next
+// to throughput (bench/alloc_counter.hpp).
 //
 // The determinism contract (docs/CONCURRENCY.md) promises bit-identical
 // results for every thread count; this bench asserts it on every scenario
 // while measuring the speedup. Usage:
 //
-//   bench_executor_scaling [flood_n] [routing_n] [--json <path>]
+//   bench_executor_scaling [flood_n] [routing_n] [delivery_n] [--json <path>]
 //
 // Speedups track the machine's actual core count: on a single-core
 // container all thread counts measure ≈ 1×.
+#include "alloc_counter.hpp"
+
 #include <cmath>
 #include <iostream>
 #include <thread>
@@ -31,12 +36,28 @@ constexpr u32 kThreadCounts[] = {1, 2, 4, 8};
 struct measurement {
   run_metrics metrics;
   double wall_ms = 0;
+  u64 allocs = 0;
 };
+
+/// Run `body` once per thread count, capturing wall time and heap
+/// allocations around it.
+template <class Body>
+std::vector<measurement> sweep_threads(Body&& body) {
+  std::vector<measurement> runs;
+  for (u32 threads : kThreadCounts) {
+    measurement m;
+    const u64 alloc0 = benchalloc::allocations();
+    m.wall_ms = timed_ms([&] { body(threads, m); });
+    m.allocs = benchalloc::allocations() - alloc0;
+    runs.push_back(m);
+  }
+  return runs;
+}
 
 void report(const char* workload, u32 n, bench_recorder& rec,
             const std::vector<measurement>& runs) {
   table t({"workload", "n", "threads", "rounds", "messages", "wall ms",
-           "rounds/s", "speedup"});
+           "rounds/s", "allocs/round", "speedup"});
   const double base_ms = runs[0].wall_ms;
   for (u32 i = 0; i < runs.size(); ++i) {
     const measurement& m = runs[i];
@@ -44,16 +65,20 @@ void report(const char* workload, u32 n, bench_recorder& rec,
     HYB_INVARIANT(m.metrics.rounds == runs[0].metrics.rounds &&
                       m.metrics.global_messages ==
                           runs[0].metrics.global_messages &&
-                      m.metrics.local_items == runs[0].metrics.local_items,
+                      m.metrics.local_items == runs[0].metrics.local_items &&
+                      m.metrics.max_global_recv_per_round ==
+                          runs[0].metrics.max_global_recv_per_round,
                   "thread count changed simulation results");
     const double rps = 1000.0 * static_cast<double>(m.metrics.rounds) /
                        std::max(m.wall_ms, 1e-6);
     const double speedup = base_ms / std::max(m.wall_ms, 1e-6);
+    const double apr = static_cast<double>(m.allocs) /
+                       std::max<double>(static_cast<double>(m.metrics.rounds), 1);
     t.add_row({workload, table::integer(n), table::integer(kThreadCounts[i]),
                table::integer(static_cast<long long>(m.metrics.rounds)),
                table::integer(static_cast<long long>(m.metrics.global_messages)),
                table::num(m.wall_ms, 1), table::num(rps, 1),
-               table::num(speedup, 2)});
+               table::num(apr, 2), table::num(speedup, 2)});
     rec.add(workload, {{"n", static_cast<double>(n)},
                        {"threads", static_cast<double>(kThreadCounts[i])},
                        {"rounds", static_cast<double>(m.metrics.rounds)},
@@ -61,6 +86,7 @@ void report(const char* workload, u32 n, bench_recorder& rec,
                         static_cast<double>(m.metrics.global_messages)},
                        {"wall_ms", m.wall_ms},
                        {"rounds_per_sec", rps},
+                       {"allocs_per_round", apr},
                        {"speedup", speedup}});
   }
   t.print();
@@ -78,6 +104,7 @@ int main(int argc, char** argv) {
     sizes.push_back(static_cast<u32>(std::atoi(argv[i])));
   const u32 flood_n = sizes.size() > 0 ? sizes[0] : 4096;
   const u32 routing_n = sizes.size() > 1 ? sizes[1] : 2048;
+  const u32 delivery_n = sizes.size() > 2 ? sizes[2] : flood_n;
 
   print_section("Executor scaling — node-parallel round steps");
   std::cout << "hardware threads: " << std::thread::hardware_concurrency()
@@ -87,18 +114,12 @@ int main(int argc, char** argv) {
     const graph g = gen::erdos_renyi_connected(flood_n, 6.0, 1, 17);
     // Enough rounds to saturate the hello flood (ER diameter is O(log n)).
     const u32 rounds = 4 * id_bits(flood_n);
-    std::vector<measurement> runs;
-    for (u32 threads : kThreadCounts) {
-      measurement m;
-      m.wall_ms = timed_ms([&] {
-        hybrid_net net(g, model_config{}, 5, sim_options{threads});
-        const auto ecc = truncated_eccentricity(net, rounds);
-        HYB_INVARIANT(!ecc.empty(), "flood produced no result");
-        m.metrics = net.snapshot();
-      });
-      runs.push_back(m);
-    }
-    report("flood", flood_n, rec, runs);
+    report("flood", flood_n, rec, sweep_threads([&](u32 threads, measurement& m) {
+             hybrid_net net(g, model_config{}, 5, sim_options{threads});
+             const auto ecc = truncated_eccentricity(net, rounds);
+             HYB_INVARIANT(!ecc.empty(), "flood produced no result");
+             m.metrics = net.snapshot();
+           }));
   }
 
   {
@@ -119,19 +140,55 @@ int main(int argc, char** argv) {
       for (u32 j = 0; j < spec.receivers.size(); ++j)
         batch[i].push_back({spec.senders[i], spec.receivers[j], 0,
                             (u64{i} << 32) | j});
-    std::vector<measurement> runs;
-    for (u32 threads : kThreadCounts) {
-      measurement m;
-      m.wall_ms = timed_ms([&] {
-        hybrid_net net(g, model_config{}, 7, sim_options{threads});
-        const auto delivered = run_token_routing(net, spec, batch);
-        HYB_INVARIANT(delivered.size() == spec.receivers.size(),
-                      "routing lost receivers");
-        m.metrics = net.snapshot();
-      });
-      runs.push_back(m);
-    }
-    report("token_routing", routing_n, rec, runs);
+    report("token_routing", routing_n, rec,
+           sweep_threads([&](u32 threads, measurement& m) {
+             hybrid_net net(g, model_config{}, 7, sim_options{threads});
+             const auto delivered = run_token_routing(net, spec, batch);
+             HYB_INVARIANT(delivered.size() == spec.receivers.size(),
+                           "routing lost receivers");
+             m.metrics = net.snapshot();
+           }));
+  }
+
+  {
+    // Raw delivery: every node saturates its γ budget with round_rng-chosen
+    // destinations each round — message-bound by construction, so this
+    // isolates the mailbox counting sort (no LOCAL work at all).
+    const graph g = gen::erdos_renyi_connected(delivery_n, 4.0, 1, 41);
+    const u32 rounds = 50;
+    u64 base_digest = 0;
+    bool have_base = false;
+    report("delivery", delivery_n, rec,
+           sweep_threads([&](u32 threads, measurement& m) {
+             hybrid_net net(g, model_config{}, 13, sim_options{threads});
+             u64 digest = 0;
+             for (u32 r = 0; r < rounds; ++r) {
+               net.executor().for_nodes(delivery_n, [&](u32 v) {
+                 rng rv = net.round_rng(v);
+                 while (net.global_budget(v) > 0)
+                   net.try_send_global(global_msg::make(
+                       v, static_cast<u32>(rv.next_below(delivery_n)), 0,
+                       {rv.next()}));
+               });
+               net.advance_round();
+               // Parallel order-insensitive digest (u64 sum of per-node
+               // folds): verifies delivery without adding a sequential
+               // O(n·γ) scan to the measured region.
+               digest += net.executor().sum_nodes(delivery_n, [&](u32 v) {
+                 u64 h = v + 1;
+                 for (const global_msg& msg : net.global_inbox(v))
+                   h = derive_seed(h, msg.w[0] ^ msg.src);
+                 return h;
+               });
+             }
+             if (!have_base) {
+               base_digest = digest;
+               have_base = true;
+             }
+             HYB_INVARIANT(digest == base_digest,
+                           "thread count changed delivered inboxes");
+             m.metrics = net.snapshot();
+           }));
   }
 
   if (!rec.write()) {

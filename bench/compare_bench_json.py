@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json files against the committed baseline snapshot.
+
+Usage: compare_bench_json.py <baseline_dir> <new_dir>
+
+Prints a GitHub-flavored-markdown report (CI appends it to the job
+summary). Scenario rows are matched by (scenario name, position among
+rows of that name), so repeated rows — e.g. one per thread count — pair
+up positionally. Two kinds of fields are treated differently:
+
+* perf fields (wall_ms, *_per_sec, allocs*, speedup): always reported
+  with a percent delta — these are *expected* to move between commits
+  and across runner hardware;
+* everything else (rounds, messages, n, ...): deterministic simulation
+  quantities. A change is flagged loudly, because it means a PR changed
+  simulated behavior, not just speed.
+
+Exit code is always 0: the report is informational; hard determinism
+checks live in the benches themselves and in ctest.
+"""
+
+import json
+import os
+import sys
+
+PERF_MARKERS = ("wall_ms", "_per_sec", "allocs", "speedup")
+
+
+def is_perf_field(name):
+    return any(m in name for m in PERF_MARKERS)
+
+
+def load_rows(path):
+    """-> list of (scenario_key, fields_dict); key disambiguates repeats."""
+    with open(path) as f:
+        data = json.load(f)
+    seen = {}
+    rows = []
+    for row in data.get("scenarios", []):
+        name = row.get("name", "?")
+        seen[name] = seen.get(name, 0) + 1
+        key = name if seen[name] == 1 else f"{name}#{seen[name]}"
+        rows.append((key, {k: v for k, v in row.items() if k != "name"}))
+    return data.get("bench", os.path.basename(path)), rows
+
+
+def fmt(v):
+    if isinstance(v, float) and v != int(v):
+        return f"{v:.3g}"
+    return str(int(v)) if isinstance(v, (int, float)) else str(v)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    base_dir, new_dir = sys.argv[1], sys.argv[2]
+    new_files = sorted(
+        f for f in os.listdir(new_dir)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+
+    print("## Bench trajectory vs committed baseline\n")
+    if not new_files:
+        print("_No BENCH_*.json files produced by this run._")
+        return
+
+    drift = []
+    for fname in new_files:
+        bench, new_rows = load_rows(os.path.join(new_dir, fname))
+        base_path = os.path.join(base_dir, fname)
+        if not os.path.exists(base_path):
+            print(f"### {bench}\n\n_New bench — no baseline committed yet "
+                  f"(add `bench/baseline/{fname}` to start its trajectory)._\n")
+            continue
+        _, base_rows = load_rows(base_path)
+        base_map = dict(base_rows)
+
+        print(f"### {bench}\n")
+        print("| scenario | field | baseline | now | delta |")
+        print("|---|---|---|---|---|")
+        printed = 0
+        new_keys = {key for key, _ in new_rows}
+        for key in base_map:
+            if key not in new_keys:
+                print(f"| {key} | _(all fields)_ | — | — "
+                      f"| ⚠️ **scenario disappeared from this run** |")
+                drift.append((bench, key, "<row missing>"))
+                printed += 1
+        for key, fields in new_rows:
+            base_fields = base_map.get(key)
+            if base_fields is None:
+                print(f"| {key} | _(new scenario)_ | — | — | — |")
+                printed += 1
+                continue
+            for field, new_v in fields.items():
+                if field not in base_fields:
+                    continue
+                old_v = base_fields[field]
+                if is_perf_field(field):
+                    if old_v:
+                        pct = 100.0 * (new_v - old_v) / abs(old_v)
+                        delta = f"{pct:+.1f}%"
+                    else:
+                        delta = "n/a"
+                    print(f"| {key} | {field} | {fmt(old_v)} | {fmt(new_v)} "
+                          f"| {delta} |")
+                    printed += 1
+                elif new_v != old_v:
+                    print(f"| {key} | {field} | {fmt(old_v)} | {fmt(new_v)} "
+                          f"| ⚠️ **deterministic quantity changed** |")
+                    drift.append((bench, key, field))
+                    printed += 1
+        if printed == 0:
+            print("| — | — | — | — | no comparable fields |")
+        print()
+
+    if drift:
+        print("### ⚠️ Deterministic drift\n")
+        print("The following non-perf quantities changed vs the baseline "
+              "(intentional algorithm changes should refresh "
+              "`bench/baseline/`):\n")
+        for bench, key, field in drift:
+            print(f"- `{bench}` / `{key}` / `{field}`")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -7,31 +7,39 @@
 namespace hybrid {
 
 clique_net::clique_net(u32 n, sim_options opts)
-    : n_(n), exec_(opts), inbox_(n), outbox_(n), sends_(n, 0) {
+    // Initial slab width 16 (clamped to n): small enough that sparse
+    // workloads never pay n² memory, large enough that the unit-test
+    // cliques (n ≤ 16) start overflow-free; heavier senders trigger one
+    // re-stride at the next barrier and are slab-resident from then on.
+    : n_(n), exec_(opts), mail_(n, n, 16) {
   HYB_REQUIRE(n >= 2, "clique needs at least two nodes");
 }
 
 void clique_net::send(const clique_msg& m) {
   HYB_REQUIRE(m.src < n_ && m.dst < n_, "endpoint out of range");
-  HYB_INVARIANT(sends_[m.src] < n_,
+  HYB_INVARIANT(mail_.sends(m.src) < n_,
                 "node exceeded the n-messages-per-round clique cap");
-  ++sends_[m.src];
-  outbox_[m.src].push_back(m);
+  mail_.push(m);
 }
 
 void clique_net::advance_round() {
   ++rounds_;
-  for (u32 v = 0; v < n_; ++v) {
-    inbox_[v].clear();
-    sends_[v] = 0;
-  }
-  for (u32 v = 0; v < n_; ++v) {
-    total_msgs_ += outbox_[v].size();
-    for (const clique_msg& m : outbox_[v]) inbox_[m.dst].push_back(m);
-    outbox_[v].clear();
-  }
-  for (u32 v = 0; v < n_; ++v)
-    max_recv_ = std::max(max_recv_, static_cast<u32>(inbox_[v].size()));
+  mail_.deliver(exec_);
+  total_msgs_ += mail_.delivered_last_round();
+  if (mail_.delivered_last_round() == 0) return;
+  // Per-shard max into a reused scratch buffer (shard-order combine, max is
+  // order-insensitive): same fused-reduction shape as hybrid_net, so clique
+  // rounds are allocation-free after warm-up too.
+  const u32 shards = exec_.shard_count(n_);
+  recv_scratch_.assign(shards, 0);
+  exec_.for_shards(n_, [&](u32 s, u32 begin, u32 end) {
+    u64 best = 0;
+    for (u32 v = begin; v < end; ++v)
+      best = std::max(best, static_cast<u64>(mail_.inbox_size(v)));
+    recv_scratch_[s] = best;
+  });
+  for (u64 best : recv_scratch_)
+    max_recv_ = std::max(max_recv_, static_cast<u32>(best));
 }
 
 }  // namespace hybrid

@@ -8,6 +8,14 @@
 // This simulator is used (a) standalone to unit-test CLIQUE algorithms at
 // the message level, and (b) as the semantic reference for the charged-round
 // CLIQUE embedding into HYBRID (proto/clique_embed).
+//
+// Mailboxes are the flat-arena kind (sim/mailbox.hpp): sends write into a
+// reused per-node slab and advance_round() delivers with the parallel
+// counting sort, same determinism contract as the HYBRID simulator. Because
+// the clique cap is n per node (an n² arena if preallocated), the outbox
+// starts with a small slab and re-strides itself up to the observed peak,
+// so sparse workloads stay small and all-to-all workloads converge to
+// allocation-free rounds after warm-up.
 #pragma once
 
 #include <array>
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "sim/executor.hpp"
+#include "sim/mailbox.hpp"
 #include "util/bits.hpp"
 
 namespace hybrid {
@@ -45,10 +54,14 @@ class clique_net {
   /// distinct src within a parallel step: writes are src-private, totals
   /// are accounted at delivery.
   void send(const clique_msg& m);
-  u32 budget(u32 src) const { return n_ - sends_[src]; }
+  u32 budget(u32 src) const { return n_ - mail_.sends(src); }
 
   void advance_round();
-  std::span<const clique_msg> inbox(u32 v) const { return inbox_[v]; }
+  /// Messages delivered to v at the last advance_round(), sorted by
+  /// (src, send-index); valid until the next advance_round().
+  std::span<const clique_msg> inbox(u32 v) const { return mail_.inbox(v); }
+  /// Mailbox arena occupancy/allocation probe.
+  mailbox_stats mailbox_stats_probe() const { return mail_.stats(); }
 
  private:
   u32 n_;
@@ -56,9 +69,10 @@ class clique_net {
   u64 rounds_ = 0;
   u64 total_msgs_ = 0;
   u32 max_recv_ = 0;
-  std::vector<std::vector<clique_msg>> inbox_;
-  std::vector<std::vector<clique_msg>> outbox_;
-  std::vector<u32> sends_;
+  flat_mailbox<clique_msg> mail_;
+  /// Per-shard receive-load maxima for advance_round's reduction; a member
+  /// so steady-state rounds stay allocation-free.
+  std::vector<u64> recv_scratch_;
 };
 
 }  // namespace hybrid

@@ -65,9 +65,8 @@ void round_executor::run_job(u64 my_generation) {
       // shards are gone, so there is nothing left to claim.
       if (generation_ != my_generation || next_shard_ >= job_shards_) return;
       shard = next_shard_++;
-      const u32 chunk = static_cast<u32>(ceil_div(job_n_, job_shards_));
-      begin = shard * chunk;
-      end = std::min(job_n_, begin + chunk);
+      begin = shard_begin(job_n_, shard);
+      end = shard_begin(job_n_, shard + 1);
       job = job_;
     }
     try {
@@ -91,8 +90,8 @@ void round_executor::run_job(u64 my_generation) {
 void round_executor::for_shards(u32 n,
                                 const std::function<void(u32, u32, u32)>& body) {
   if (n == 0) return;
-  const u32 shard_count = std::min(threads_, n);
-  if (shard_count <= 1) {
+  const u32 shards = shard_count(n);
+  if (shards <= 1) {
     body(0, 0, n);
     return;
   }
@@ -106,9 +105,9 @@ void round_executor::for_shards(u32 n,
                 "nested round_executor dispatch from inside a step");
     job_ = &body;
     job_n_ = n;
-    job_shards_ = shard_count;
+    job_shards_ = shards;
     next_shard_ = 0;
-    pending_shards_ = shard_count;
+    pending_shards_ = shards;
     first_error_ = nullptr;
     gen = ++generation_;
   }
@@ -133,7 +132,7 @@ void round_executor::for_nodes(u32 n, const std::function<void(u32)>& step) {
 
 u64 round_executor::sum_nodes(u32 n, const std::function<u64(u32)>& term) {
   if (n == 0) return 0;
-  std::vector<u64> partial(std::min(threads_, n), 0);
+  std::vector<u64> partial(shard_count(n), 0);
   for_shards(n, [&](u32 shard, u32 begin, u32 end) {
     u64 acc = 0;
     for (u32 v = begin; v < end; ++v) acc += term(v);
@@ -142,6 +141,19 @@ u64 round_executor::sum_nodes(u32 n, const std::function<u64(u32)>& term) {
   u64 total = 0;
   for (u64 p : partial) total += p;
   return total;
+}
+
+u64 round_executor::max_nodes(u32 n, const std::function<u64(u32)>& term) {
+  if (n == 0) return 0;
+  std::vector<u64> partial(shard_count(n), 0);
+  for_shards(n, [&](u32 shard, u32 begin, u32 end) {
+    u64 best = 0;
+    for (u32 v = begin; v < end; ++v) best = std::max(best, term(v));
+    partial[shard] = best;
+  });
+  u64 best = 0;
+  for (u64 p : partial) best = std::max(best, p);
+  return best;
 }
 
 bool round_executor::any_node(u32 n, const std::function<bool(u32)>& pred) {

@@ -26,6 +26,7 @@
 // single-threaded runs behave exactly like the pre-executor simulator.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -57,6 +58,18 @@ class round_executor {
 
   u32 threads() const { return threads_; }
 
+  /// The static shard partition for n nodes: min(threads, n) shards of
+  /// ⌈n/shards⌉ contiguous IDs; shard s covers [shard_begin(n, s),
+  /// shard_begin(n, s+1)) (tail shards may be empty). Exposed so
+  /// barrier-phase code (flat_mailbox delivery) can mirror the exact
+  /// partition for_shards uses.
+  u32 shard_count(u32 n) const { return n == 0 ? 0 : std::min(threads_, n); }
+  u32 shard_begin(u32 n, u32 shard) const {
+    if (n == 0) return 0;
+    const u32 chunk = static_cast<u32>(ceil_div(n, shard_count(n)));
+    return std::min(n, shard * chunk);
+  }
+
   /// Run `step(v)` for every v in [0, n); returns after ALL nodes finished
   /// (the round barrier). Steps must follow the determinism contract above.
   /// Exceptions thrown by steps are rethrown here (first one wins).
@@ -74,6 +87,15 @@ class round_executor {
   /// Accumulated per shard, combined in shard order; u64 addition is
   /// order-insensitive, so the result is thread-count-invariant.
   u64 sum_nodes(u32 n, const std::function<u64(u32)>& term);
+
+  /// Deterministic reduction: max of `term(v)` over v in [0, n); 0 when
+  /// n == 0. Order-insensitive like sum_nodes, so thread-count-invariant.
+  /// Note: the simulators' advance_round hot paths use a fused for_shards
+  /// instantiation of this same shape (several counters in one pass, with
+  /// a member scratch buffer) instead of calling this per counter; prefer
+  /// max_nodes in protocol code, where one reduction per barrier is the
+  /// common case.
+  u64 max_nodes(u32 n, const std::function<u64(u32)>& term);
 
   /// True when `pred(v)` holds for at least one node (barrier included).
   bool any_node(u32 n, const std::function<bool(u32)>& pred);

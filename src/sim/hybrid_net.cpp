@@ -20,71 +20,104 @@ global_msg global_msg::make(u32 src, u32 dst, u32 tag,
   return m;
 }
 
+namespace {
+
+u32 compute_global_cap(const model_config& cfg, u32 n) {
+  return std::max<u32>(
+      1, static_cast<u32>(std::ceil(cfg.global_cap_mult * id_bits(n))));
+}
+
+}  // namespace
+
 hybrid_net::hybrid_net(const graph& g, model_config cfg, u64 seed,
                        sim_options opts)
     : g_(&g),
       cfg_(cfg),
       exec_(opts),
-      inbox_(g.num_nodes()),
-      outbox_(g.num_nodes()),
-      sends_this_round_(g.num_nodes(), 0),
+      global_cap_(compute_global_cap(cfg, g.num_nodes())),
+      // Slabs start at 8 slots, not γ: an idle or send-light network pays
+      // O(n) idle memory instead of O(n·γ), and γ-saturating protocols
+      // re-stride to γ once at the first barrier and are overflow- and
+      // allocation-free from then on.
+      mail_(g.num_nodes(), global_cap_, std::min<u32>(global_cap_, 8)),
       node_rng_(g.num_nodes()),
       seed_(seed),
       public_rng_(derive_seed(seed, ~u64{0})) {
   HYB_REQUIRE(g.num_nodes() >= 2, "HYBRID networks need at least two nodes");
   const u32 logn = id_bits(g.num_nodes());
-  global_cap_ = std::max<u32>(
-      1, static_cast<u32>(std::ceil(cfg.global_cap_mult * logn)));
   hash_independence_ = std::max<u32>(
       2, static_cast<u32>(std::ceil(cfg.hash_independence_mult * logn)));
   header_bits_ = 2 * logn;  // src + dst IDs
+  // Stream ids: v for the persistent per-node streams, ~0 for the public
+  // stream; the high bit keeps the per-round family disjoint from both.
+  node_stream_.reserve(n());
+  for (u32 v = 0; v < n(); ++v)
+    node_stream_.push_back(derive_seed(seed, (u64{1} << 63) | v));
   if (cfg_.cut_side.size() == n()) cut_side_ = cfg_.cut_side;
 }
 
 void hybrid_net::advance_round() {
   // The round barrier: called from the orchestrating thread only, after the
-  // executor joined all per-node steps (docs/CONCURRENCY.md).
+  // executor joined all per-node steps (docs/CONCURRENCY.md). Delivery is
+  // the mailbox's parallel counting sort; it fixes inbox order as
+  // (src, send-index), independent of send interleaving and thread count.
   ++metrics_.rounds;
-  u32 max_recv = 0;
-  for (u32 v = 0; v < n(); ++v) {
-    inbox_[v].clear();
-    sends_this_round_[v] = 0;
-  }
-  // Two passes keep delivery independent of send order within the round.
+  mail_.deliver(exec_);
   // Aggregate metrics are accounted here rather than at send time so that
   // try_send_global writes only src-private state during parallel steps.
-  for (u32 v = 0; v < n(); ++v) {
-    for (const global_msg& m : outbox_[v]) {
-      ++metrics_.global_messages;
-      metrics_.global_payload_words += m.nw;
-      if (!cut_side_.empty() && cut_side_[m.src] != cut_side_[m.dst])
-        metrics_.cut_bits += static_cast<u64>(m.nw) * 64 + header_bits_;
-      inbox_[m.dst].push_back(m);
+  // The executor's sum/max reductions are order-insensitive, so every
+  // counter stays thread-count-invariant (docs/CONCURRENCY.md §5).
+  const u64 delivered = mail_.delivered_last_round();
+  metrics_.global_messages += delivered;
+  if (delivered == 0) return;
+  // One fused parallel pass over the delivered slices: per-shard
+  // {payload words, cut bits, max recv}, combined in shard order. Sum and
+  // max are order-insensitive, so every counter is thread-count-invariant
+  // (docs/CONCURRENCY.md §5), and each message is visited exactly once.
+  const u32 shards = exec_.shard_count(n());
+  delivery_scratch_.assign(shards, {});
+  const u8* cut = cut_side_.empty() ? nullptr : cut_side_.data();
+  exec_.for_shards(n(), [&](u32 s, u32 begin, u32 end) {
+    delivery_acc a;
+    for (u32 v = begin; v < end; ++v) {
+      const auto box = mail_.inbox(v);
+      a.max_recv = std::max(a.max_recv, static_cast<u64>(box.size()));
+      for (const global_msg& m : box) {
+        a.payload_words += m.nw;
+        if (cut && cut[m.src] != cut[m.dst])
+          a.cut_bits += static_cast<u64>(m.nw) * 64 + header_bits_;
+      }
     }
-    outbox_[v].clear();
+    delivery_scratch_[s] = a;
+  });
+  delivery_acc total;
+  for (const delivery_acc& a : delivery_scratch_) {
+    total.payload_words += a.payload_words;
+    total.cut_bits += a.cut_bits;
+    total.max_recv = std::max(total.max_recv, a.max_recv);
   }
-  for (u32 v = 0; v < n(); ++v)
-    max_recv = std::max(max_recv, static_cast<u32>(inbox_[v].size()));
+  metrics_.global_payload_words += total.payload_words;
+  metrics_.cut_bits += total.cut_bits;
   metrics_.max_global_recv_per_round =
-      std::max(metrics_.max_global_recv_per_round, max_recv);
+      std::max(metrics_.max_global_recv_per_round,
+               static_cast<u32>(total.max_recv));
 }
 
 bool hybrid_net::try_send_global(const global_msg& m) {
   HYB_REQUIRE(m.src < n() && m.dst < n(), "message endpoint out of range");
   HYB_INVARIANT(m.nw <= cfg_.max_payload_words,
                 "payload exceeds the O(log n)-bit model cap");
-  if (sends_this_round_[m.src] >= global_cap_) return false;
-  ++sends_this_round_[m.src];
-  outbox_[m.src].push_back(m);
+  if (mail_.sends(m.src) >= global_cap_) return false;
+  mail_.push(m);
   return true;
 }
 
 u32 hybrid_net::global_budget(u32 src) const {
-  return global_cap_ - sends_this_round_[src];
+  return global_cap_ - mail_.sends(src);
 }
 
 std::span<const global_msg> hybrid_net::global_inbox(u32 v) const {
-  return inbox_[v];
+  return mail_.inbox(v);
 }
 
 rng& hybrid_net::node_rng(u32 v) {
@@ -95,10 +128,7 @@ rng& hybrid_net::node_rng(u32 v) {
 
 rng hybrid_net::round_rng(u32 v) const {
   HYB_REQUIRE(v < n(), "node out of range");
-  // Stream ids: v for the persistent per-node streams, ~0 for the public
-  // stream; the high bit keeps the per-round family disjoint from both.
-  const u64 node_stream = derive_seed(seed_, (u64{1} << 63) | v);
-  return rng(derive_seed(node_stream, metrics_.rounds));
+  return rng(derive_seed(node_stream_[v], metrics_.rounds));
 }
 
 void hybrid_net::begin_phase(std::string name) {

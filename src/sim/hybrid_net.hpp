@@ -26,6 +26,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/executor.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/metrics.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
@@ -85,8 +86,10 @@ class hybrid_net {
   u32 hash_independence() const { return hash_independence_; }
 
   // ---- round lifecycle -----------------------------------------------
-  /// Close the current round: deliver queued global messages, reset send
-  /// budgets, bump the round counter.
+  /// Close the current round: deliver queued global messages (parallel
+  /// counting sort on the executor, sim/mailbox.hpp), account aggregate
+  /// metrics via deterministic reductions, reset send budgets, bump the
+  /// round counter. Orchestrating thread only, after the round barrier.
   void advance_round();
   u64 round() const { return metrics_.rounds; }
 
@@ -99,8 +102,13 @@ class hybrid_net {
   bool try_send_global(const global_msg& m);
   /// Remaining sends for src this round.
   u32 global_budget(u32 src) const;
-  /// Messages delivered to v at the last advance_round().
+  /// Messages delivered to v at the last advance_round(), sorted by
+  /// (src, send-index). The span aliases the flat inbox arena and is
+  /// valid until the next advance_round().
   std::span<const global_msg> global_inbox(u32 v) const;
+  /// Mailbox arena occupancy/allocation probe (tests assert arenas stop
+  /// growing after warm-up).
+  mailbox_stats global_mailbox_stats() const { return mail_.stats(); }
 
   // ---- LOCAL mode accounting -------------------------------------------
   /// Charge `items` O(log n)-bit records crossing local edges this round.
@@ -141,11 +149,21 @@ class hybrid_net {
   u32 hash_independence_;
   u32 header_bits_;
 
-  std::vector<std::vector<global_msg>> inbox_;
-  std::vector<std::vector<global_msg>> outbox_;
-  std::vector<u32> sends_this_round_;
+  flat_mailbox<global_msg> mail_;
+  /// Per-shard metric accumulators for advance_round's fused delivery
+  /// reduction; a member so steady-state rounds stay allocation-free.
+  struct delivery_acc {
+    u64 payload_words = 0;
+    u64 cut_bits = 0;
+    u64 max_recv = 0;
+  };
+  std::vector<delivery_acc> delivery_scratch_;
 
   std::vector<std::optional<rng>> node_rng_;
+  /// Per-node round_rng stream ids, derived once at construction (they are
+  /// a pure function of (seed_, v), so recomputing them every round was
+  /// pure waste).
+  std::vector<u64> node_stream_;
   u64 seed_;
   rng public_rng_;
 

@@ -1,0 +1,235 @@
+// Flat-arena mailboxes with parallel counting-sort delivery.
+//
+// Both simulators (hybrid_net, clique_net) move per-round messages between
+// nodes. The PR-2 implementation kept a `std::vector<std::vector<Msg>>` pair
+// (outbox, inbox) and delivered with one sequential scan — O(total messages)
+// of pointer-chasing plus per-round clear()/realloc churn, the last
+// sequential O(n·γ) section in the round loop (ROADMAP). `flat_mailbox`
+// replaces that with two reused arenas and a deterministic parallel
+// counting sort:
+//
+//   * Outbox: one flat arena of n·stride message slots; node v's slab is
+//     [v·stride, v·stride + sends(v)). push() is src-private (one slot write
+//     plus a counter bump, no heap allocation), so parallel round steps can
+//     send with no atomics and no locks, exactly as before. When a node
+//     outgrows its slab the excess goes to a per-node overflow vector
+//     (still src-private) and the arena is re-strided at the next barrier,
+//     so steady state is overflow-free: slabs start small (idle networks
+//     stay cheap even at large n) and converge to the observed per-round
+//     peak — γ at most in the HYBRID simulator — after one warm-up round.
+//   * Delivery (`deliver()`, called at the round barrier only) is a
+//     counting sort by destination, parallel over the executor's static
+//     source shards: (1) each shard counts its messages per destination
+//     into a shard-private row, (2) the orchestrator takes an exclusive
+//     prefix sum over (dst, shard) — giving each destination a slice of the
+//     flat inbox arena and each (shard, dst) pair a disjoint scatter
+//     cursor — then (3) each shard scatters its messages in (src,
+//     send-index) order. Slices are filled shard-ascending and shards are
+//     contiguous ascending node ranges, so every inbox ends up sorted by
+//     (src, send-index): bit-identical to the old sequential scan at every
+//     thread count (docs/CONCURRENCY.md §5).
+//
+// All buffers are high-water-marked and reused across rounds; after a short
+// warm-up a round performs zero heap allocations (asserted by
+// tests/mailbox_test.cpp via stats(), quantified by bench_mailbox).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "sim/executor.hpp"
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace hybrid {
+
+/// Arena occupancy/allocation probe (tests assert no growth after warm-up).
+struct mailbox_stats {
+  u32 stride = 0;             ///< current outbox slab width (slots per node)
+  u64 outbox_slots = 0;       ///< total outbox arena slots (n · stride)
+  u64 inbox_slots = 0;        ///< flat inbox arena high-water size (messages)
+  u64 grow_events = 0;        ///< arena (re)allocations since construction
+  u64 overflow_messages = 0;  ///< sends that missed the slab (pre-re-stride)
+  u64 delivered_last_round = 0;
+  u64 delivered_total = 0;
+};
+
+/// Msg must expose `u32 src` / `u32 dst` members (global_msg, clique_msg).
+template <class Msg>
+class flat_mailbox {
+ public:
+  /// `per_node_cap`: hard per-round send cap per node (γ, or n for the
+  /// clique). `initial_stride`: starting slab width; pass the cap to make
+  /// overflow impossible, or a small value to let sparse workloads stay
+  /// small (the arena re-strides itself up to the cap on demand).
+  flat_mailbox(u32 n, u32 per_node_cap, u32 initial_stride)
+      : n_(n),
+        cap_(std::max<u32>(1, per_node_cap)),
+        stride_(std::clamp<u32>(initial_stride, 1, cap_)),
+        out_arena_(static_cast<std::size_t>(n) * stride_),
+        out_count_(n, 0),
+        overflow_(n),
+        in_begin_(static_cast<std::size_t>(n) + 1, 0) {}
+
+  u32 per_node_cap() const { return cap_; }
+  u32 sends(u32 src) const { return out_count_[src]; }
+
+  /// Enqueue for the next deliver(). src-private: touches only src's slab
+  /// slot, counter, and (on slab overflow) src's overflow vector, so
+  /// distinct sources may push concurrently within a parallel round step.
+  void push(const Msg& m) {
+    const u32 src = m.src;
+    const u32 at = out_count_[src]++;
+    HYB_INVARIANT(at < cap_, "per-node per-round send cap exceeded");
+    if (at < stride_) {
+      out_arena_[static_cast<std::size_t>(src) * stride_ + at] = m;
+    } else {
+      auto& spill = overflow_[src];
+      // Bounded up-front reserve keeps the warm-up round to O(1)
+      // allocations per overflowing node instead of O(log overflow).
+      if (spill.capacity() == 0)
+        spill.reserve(std::min(cap_ - stride_, 2 * stride_));
+      spill.push_back(m);
+    }
+  }
+
+  /// Messages delivered to v at the last deliver(); sorted by
+  /// (src, send-index). Valid until the next deliver().
+  std::span<const Msg> inbox(u32 v) const {
+    return {in_arena_.data() + in_begin_[v], in_begin_[v + 1] - in_begin_[v]};
+  }
+  u32 inbox_size(u32 v) const { return in_begin_[v + 1] - in_begin_[v]; }
+  u64 delivered_last_round() const { return delivered_last_; }
+
+  /// Barrier-phase delivery: the deterministic parallel counting sort
+  /// described above. Orchestrating thread only (never from inside a step);
+  /// also resets all send counters and grows/re-strides arenas as needed.
+  void deliver(round_executor& exec) {
+    // Fast path: nothing was sent this round — common in LOCAL-only phases
+    // (flood drivers advance rounds without global traffic). One early-exit
+    // scan of the send counters replaces the dispatches and the O(n·T)
+    // prefix below; inbox offsets only need re-zeroing if the previous
+    // round delivered anything.
+    bool any_sends = false;
+    for (u32 v = 0; v < n_; ++v)
+      if (out_count_[v] != 0) {
+        any_sends = true;
+        break;
+      }
+    if (!any_sends) {
+      if (delivered_last_ != 0)
+        std::fill(in_begin_.begin(), in_begin_.end(), 0);
+      delivered_last_ = 0;
+      return;
+    }
+
+    const u32 shards = exec.shard_count(n_);
+    if (counts_.size() != static_cast<std::size_t>(shards) * n_) {
+      counts_.assign(static_cast<std::size_t>(shards) * n_, 0);
+      ++grow_events_;
+    }
+    // Tail shards can be empty (their count rows stay stale); the prefix
+    // pass below must only read rows of shards that actually ran.
+    u32 active = shards;
+    while (active > 0 && exec.shard_begin(n_, active - 1) >= n_) --active;
+
+    // Pass 1 (parallel over source shards): count per destination. Each
+    // shard writes only its own counts_ row.
+    exec.for_shards(n_, [&](u32 s, u32 begin, u32 end) {
+      u32* row = counts_.data() + static_cast<std::size_t>(s) * n_;
+      std::fill_n(row, n_, 0);
+      for (u32 src = begin; src < end; ++src)
+        for_each_out(src, [&](const Msg& m) { ++row[m.dst]; });
+    });
+
+    // Exclusive prefix sum over (dst, shard) on the orchestrator — O(n·T),
+    // independent of message volume. in_begin_[d] becomes the start of d's
+    // inbox slice; counts_[s][d] is repurposed as shard s's scatter cursor.
+    u64 total = 0;
+    for (u32 d = 0; d < n_; ++d) {
+      in_begin_[d] = static_cast<u32>(total);
+      for (u32 s = 0; s < active; ++s) {
+        u32& c = counts_[static_cast<std::size_t>(s) * n_ + d];
+        const u32 cnt = c;
+        c = static_cast<u32>(total);
+        total += cnt;
+      }
+    }
+    HYB_INVARIANT(total <= ~u32{0}, "round message volume overflows u32");
+    in_begin_[n_] = static_cast<u32>(total);
+    delivered_last_ = total;
+    delivered_total_ += total;
+
+    if (in_arena_.size() < total) {
+      // Geometric growth, never shrunk: the arena is a high-water buffer.
+      in_arena_.resize(std::max<std::size_t>(total, 2 * in_arena_.size()));
+      ++grow_events_;
+    }
+
+    // Pass 2 (parallel over source shards): scatter. Shard-private cursor
+    // rows address disjoint slices, so writes never race; walking sources
+    // in ascending order within each contiguous shard yields the global
+    // (src, send-index) order.
+    exec.for_shards(n_, [&](u32 s, u32 begin, u32 end) {
+      u32* cursor = counts_.data() + static_cast<std::size_t>(s) * n_;
+      Msg* arena = in_arena_.data();
+      for (u32 src = begin; src < end; ++src)
+        for_each_out(src, [&](const Msg& m) { arena[cursor[m.dst]++] = m; });
+    });
+
+    // Reset outboxes; re-stride once if any slab overflowed this round so
+    // the same workload shape never overflows (or allocates) again.
+    u32 max_count = 0;
+    for (u32 v = 0; v < n_; ++v) {
+      max_count = std::max(max_count, out_count_[v]);
+      out_count_[v] = 0;
+      if (!overflow_[v].empty()) {
+        overflow_total_ += overflow_[v].size();
+        overflow_[v].clear();  // keeps capacity; unused once re-strided
+      }
+    }
+    if (max_count > stride_) {
+      stride_ = std::min(cap_, std::max(max_count, 2 * stride_));
+      out_arena_.resize(static_cast<std::size_t>(n_) * stride_);
+      ++grow_events_;
+    }
+  }
+
+  mailbox_stats stats() const {
+    return {stride_,
+            static_cast<u64>(n_) * stride_,
+            in_arena_.size(),
+            grow_events_,
+            overflow_total_,
+            delivered_last_,
+            delivered_total_};
+  }
+
+ private:
+  /// Visit src's queued messages in send order (slab, then overflow).
+  template <class F>
+  void for_each_out(u32 src, F&& f) const {
+    const u32 count = out_count_[src];
+    const Msg* slab = out_arena_.data() + static_cast<std::size_t>(src) * stride_;
+    const u32 in_slab = std::min(count, stride_);
+    for (u32 i = 0; i < in_slab; ++i) f(slab[i]);
+    for (u32 i = in_slab; i < count; ++i) f(overflow_[src][i - in_slab]);
+  }
+
+  u32 n_;
+  u32 cap_;
+  u32 stride_;
+  std::vector<Msg> out_arena_;   ///< n · stride slots, slab per node
+  std::vector<u32> out_count_;   ///< sends this round, per node
+  std::vector<std::vector<Msg>> overflow_;  ///< slab spill (rare, re-strided)
+  std::vector<Msg> in_arena_;    ///< delivered messages, dst-contiguous
+  std::vector<u32> in_begin_;    ///< inbox slice offsets, size n+1
+  std::vector<u32> counts_;      ///< shard-count / scatter-cursor matrix
+  u64 delivered_last_ = 0;
+  u64 delivered_total_ = 0;
+  u64 overflow_total_ = 0;
+  u64 grow_events_ = 0;
+};
+
+}  // namespace hybrid

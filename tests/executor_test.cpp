@@ -79,6 +79,40 @@ TEST(RoundExecutor, SumMatchesSequential) {
   }
 }
 
+TEST(RoundExecutor, MaxMatchesSequentialAndIsThreadInvariant) {
+  auto term = [](u32 v) -> u64 { return (u64{v} * 2654435761u) % 10007; };
+  u64 want = 0;
+  for (u32 v = 0; v < 1234; ++v) want = std::max(want, term(v));
+  for (u32 threads : {1u, 3u, 8u}) {
+    round_executor exec(sim_options{threads});
+    EXPECT_EQ(exec.max_nodes(1234, term), want) << threads << " threads";
+    EXPECT_EQ(exec.max_nodes(0, term), 0u);
+  }
+}
+
+TEST(RoundExecutor, ShardPartitionHelpersMatchDispatch) {
+  round_executor exec(sim_options{4});
+  for (u32 n : {1u, 3u, 4u, 5u, 103u}) {
+    const u32 shards = exec.shard_count(n);
+    EXPECT_EQ(shards, std::min(4u, n));
+    EXPECT_EQ(exec.shard_begin(n, 0), 0u);
+    EXPECT_EQ(exec.shard_begin(n, shards), n);  // partition covers [0, n)
+    // The ranges for_shards actually dispatches are exactly these.
+    std::vector<std::pair<u32, u32>> seen(shards, {~0u, ~0u});
+    exec.for_shards(n, [&](u32 s, u32 begin, u32 end) {
+      seen[s] = {begin, end};
+    });
+    for (u32 s = 0; s < shards; ++s) {
+      const u32 begin = exec.shard_begin(n, s);
+      const u32 end = exec.shard_begin(n, s + 1);
+      if (begin < end)
+        EXPECT_EQ(seen[s], std::make_pair(begin, end)) << "n=" << n;
+      else
+        EXPECT_EQ(seen[s].first, ~0u) << "empty shard was dispatched";
+    }
+  }
+}
+
 TEST(RoundExecutor, AnyNode) {
   round_executor exec(sim_options{4});
   EXPECT_TRUE(exec.any_node(100, [](u32 v) { return v == 99; }));
