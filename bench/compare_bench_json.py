@@ -1,29 +1,34 @@
 #!/usr/bin/env python3
 """Compare BENCH_*.json files against the committed baseline snapshot.
 
-Usage: compare_bench_json.py <baseline_dir> <new_dir>
+Usage: compare_bench_json.py [--gate] <baseline_dir> <new_dir>
 
 Prints a GitHub-flavored-markdown report (CI appends it to the job
 summary). Scenario rows are matched by (scenario name, position among
 rows of that name), so repeated rows — e.g. one per thread count — pair
 up positionally. Two kinds of fields are treated differently:
 
-* perf fields (wall_ms, *_per_sec, allocs*, speedup): always reported
-  with a percent delta — these are *expected* to move between commits
-  and across runner hardware;
+* perf fields (wall_ms, *_per_sec, allocs*, speedup, peak_mem*): always
+  reported with a percent delta — these are *expected* to move between
+  commits and across runner hardware;
 * everything else (rounds, messages, n, ...): deterministic simulation
   quantities. A change is flagged loudly, because it means a PR changed
   simulated behavior, not just speed.
 
-Exit code is always 0: the report is informational; hard determinism
-checks live in the benches themselves and in ctest.
+With --gate, deterministic drift is a hard failure: exit code 1 until
+either the change is backed out or the intentional new trajectory is
+committed to `bench/baseline/`. Drift includes a baselined scenario,
+deterministic field, or whole BENCH_*.json file disappearing from the
+run — lost coverage must be as loud as changed values. A bench with no
+committed baseline is not drift — it starts a trajectory. Without
+--gate the report is informational and always exits 0.
 """
 
 import json
 import os
 import sys
 
-PERF_MARKERS = ("wall_ms", "_per_sec", "allocs", "speedup")
+PERF_MARKERS = ("wall_ms", "_per_sec", "allocs", "speedup", "peak_mem")
 
 
 def is_perf_field(name):
@@ -51,17 +56,19 @@ def fmt(v):
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    gate = "--gate" in args
+    args = [a for a in args if a != "--gate"]
+    if len(args) != 2:
         sys.exit(__doc__)
-    base_dir, new_dir = sys.argv[1], sys.argv[2]
+    base_dir, new_dir = args
     new_files = sorted(
         f for f in os.listdir(new_dir)
         if f.startswith("BENCH_") and f.endswith(".json"))
 
     print("## Bench trajectory vs committed baseline\n")
     if not new_files:
-        print("_No BENCH_*.json files produced by this run._")
-        return
+        print("_No BENCH_*.json files produced by this run._\n")
 
     drift = []
     for fname in new_files:
@@ -91,6 +98,15 @@ def main():
                 print(f"| {key} | _(new scenario)_ | — | — | — |")
                 printed += 1
                 continue
+            # A deterministic field present in the baseline but absent from
+            # the fresh row is lost coverage, not a silent pass.
+            for field, old_v in base_fields.items():
+                if field in fields or is_perf_field(field):
+                    continue
+                print(f"| {key} | {field} | {fmt(old_v)} | — "
+                      f"| ⚠️ **deterministic field disappeared** |")
+                drift.append((bench, key, field))
+                printed += 1
             for field, new_v in fields.items():
                 if field not in base_fields:
                     continue
@@ -113,6 +129,18 @@ def main():
             print("| — | — | — | — | no comparable fields |")
         print()
 
+    # A baselined bench that produced no JSON at all (binary or CI step
+    # dropped) would otherwise vanish without a trace.
+    for fname in sorted(
+            f for f in os.listdir(base_dir)
+            if f.startswith("BENCH_") and f.endswith(".json")):
+        if fname in new_files:
+            continue
+        bench, _ = load_rows(os.path.join(base_dir, fname))
+        print(f"### {bench}\n\n⚠️ **baselined bench produced no JSON in "
+              f"this run** (`{fname}` missing).\n")
+        drift.append((bench, "<file>", "<missing from run>"))
+
     if drift:
         print("### ⚠️ Deterministic drift\n")
         print("The following non-perf quantities changed vs the baseline "
@@ -121,6 +149,10 @@ def main():
         for bench, key, field in drift:
             print(f"- `{bench}` / `{key}` / `{field}`")
         print()
+        if gate:
+            print("**--gate: failing the job** — refresh `bench/baseline/` "
+                  "if this drift is an intentional algorithm change.\n")
+            sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@
 #include "proto/dissemination.hpp"
 #include "proto/flood.hpp"
 #include "proto/skeleton.hpp"
+#include "proto/sparse_exploration.hpp"
 #include "proto/token_routing.hpp"
 #include "util/assert.hpp"
 
@@ -76,15 +77,18 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
   table_flood(net, sk.nodes, std::vector<u64>(n_s, n), sk.h);
   // The full h-hop exploration runs on the local network in parallel with
   // everything above (LOCAL bandwidth is unbounded): charge traffic only.
-  const auto local_dist =
-      full_local_exploration(net, sk.h, /*advance_rounds=*/false);
+  // run_local_exploration picks the dense or ball-bounded sparse path per
+  // sim_options (proto/sparse_exploration.hpp) — triples and charging are
+  // bit-identical either way.
+  const sparse_exploration_result local = run_local_exploration(
+      net, sk.h, /*advance_rounds=*/false, nullptr, /*first_hops=*/false);
 
   // The O(n²·|near|) assembly is the simulator's hottest loop; each node u
   // writes only its own distance row, so it runs node-parallel.
   out.dist.assign(n, std::vector<u64>(n, kInfDist));
   net.executor().for_nodes(n, [&](u32 u) {
     std::vector<u64>& row = out.dist[u];
-    row = local_dist[u];
+    for (const exploration_entry& e : local.reached(u)) row[e.source] = e.dist;
     for (const source_distance& sd : sk.near[u]) {
       const std::vector<u64>& lbl = labels[sd.source];
       for (u32 v = 0; v < n; ++v)

@@ -6,13 +6,15 @@
 #include "proto/dissemination.hpp"
 #include "proto/flood.hpp"
 #include "proto/skeleton.hpp"
+#include "proto/sparse_exploration.hpp"
 #include "util/assert.hpp"
 
 namespace hybrid {
 
 apsp_baseline_result baseline_apsp_ahkss(const graph& g,
-                                         const model_config& cfg, u64 seed) {
-  hybrid_net net(g, cfg, seed);
+                                         const model_config& cfg, u64 seed,
+                                         sim_options opts) {
+  hybrid_net net(g, cfg, seed, opts);
   const u32 n = net.n();
   apsp_baseline_result out;
 
@@ -46,13 +48,13 @@ apsp_baseline_result baseline_apsp_ahkss(const graph& g,
 
   // ---- 4. assemble locally ------------------------------------------------
   net.begin_phase("assembly");
-  const auto local_dist =
-      full_local_exploration(net, sk.h, /*advance_rounds=*/false);
+  const sparse_exploration_result local = run_local_exploration(
+      net, sk.h, /*advance_rounds=*/false, nullptr, /*first_hops=*/false);
 
   out.dist.assign(n, std::vector<u64>(n, kInfDist));
   for (u32 u = 0; u < n; ++u) {
     std::vector<u64>& row = out.dist[u];
-    row = local_dist[u];
+    for (const exploration_entry& e : local.reached(u)) row[e.source] = e.dist;
     // A[s2] = min_{s1 near u} d_h(u, s1) + d_S(s1, s2).
     std::vector<u64> a(n_s, kInfDist);
     for (const source_distance& sd : sk.near[u])

@@ -23,7 +23,11 @@ struct apsp_baseline_result {
   u64 labels_broadcast = 0;
 };
 
+/// `opts` selects the executor thread count and the local-exploration path
+/// (docs/CONCURRENCY.md, proto/sparse_exploration.hpp); results are
+/// bit-identical for every thread count and either exploration path.
 apsp_baseline_result baseline_apsp_ahkss(const graph& g,
-                                         const model_config& cfg, u64 seed);
+                                         const model_config& cfg, u64 seed,
+                                         sim_options opts = {});
 
 }  // namespace hybrid

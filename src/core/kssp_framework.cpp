@@ -8,6 +8,7 @@
 #include "proto/flood.hpp"
 #include "proto/representatives.hpp"
 #include "proto/skeleton.hpp"
+#include "proto/sparse_exploration.hpp"
 #include "util/assert.hpp"
 
 namespace hybrid {
@@ -98,13 +99,18 @@ kssp_result hybrid_kssp(const graph& g, const model_config& cfg, u64 seed,
   // the elapsed runtime cost extra.
   out.exploration_depth = std::max(eta_h, elapsed);
   for (u64 r = elapsed; r < out.exploration_depth; ++r) net.advance_round();
-  const auto explo = limited_bellman_ford(
-      net, sources, static_cast<u32>(out.exploration_depth),
-      /*advance_rounds=*/false);
+  // Ball-bounded or dense per sim_options; entries are keyed by source node
+  // id, so map them back to source slots for the assembly below.
+  const sparse_exploration_result explo = run_local_exploration(
+      net, static_cast<u32>(out.exploration_depth),
+      /*advance_rounds=*/false, &sources, /*first_hops=*/false);
+  std::vector<u32> slot_of_node(n, ~u32{0});
+  for (u32 j = 0; j < sources.size(); ++j) slot_of_node[sources[j]] = j;
   std::vector<std::vector<u64>> local(sources.size(),
                                       std::vector<u64>(n, kInfDist));
   net.executor().for_nodes(n, [&](u32 v) {
-    for (const source_distance& sd : explo[v]) local[sd.source][v] = sd.dist;
+    for (const exploration_entry& e : explo.reached(v))
+      local[slot_of_node[e.source]][v] = e.dist;
   });
 
   // ---- 5. assemble Equation (1) -------------------------------------------

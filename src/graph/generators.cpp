@@ -132,6 +132,51 @@ graph barbell(u32 k, u32 path_len, u64 max_weight, u64 seed) {
   return finish(n, edges);
 }
 
+graph bounded_degree(u32 n, u32 max_degree, u64 max_weight, u64 seed) {
+  HYB_REQUIRE(n >= 2, "need >= 2 nodes");
+  HYB_REQUIRE(max_degree >= 2, "degree cap must be >= 2 to stay connected");
+  rng r(seed);
+  std::vector<edge_spec> edges;
+  std::vector<u32> deg(n, 0);
+  // open = nodes with spare capacity; saturated nodes are swap-removed so
+  // sampling stays O(1) per draw.
+  std::vector<u32> open;
+  open.reserve(n);
+  auto bump = [&](u32 idx) {
+    if (++deg[open[idx]] == max_degree) {
+      open[idx] = open.back();
+      open.pop_back();
+    }
+  };
+  open.push_back(0);
+  for (u32 v = 1; v < n; ++v) {
+    // The attachment tree keeps the graph connected; attaching only to
+    // spare-capacity nodes keeps every degree under the cap.
+    const u32 idx = static_cast<u32>(r.next_below(open.size()));
+    edges.push_back({open[idx], v, draw_weight(r, max_weight)});
+    bump(idx);
+    deg[v] = 1;
+    open.push_back(v);  // max_degree >= 2, so v always has spare capacity
+  }
+  std::set<std::pair<u32, u32>> present;
+  for (const edge_spec& e : edges) present.insert(std::minmax(e.a, e.b));
+  // Extra edges between spare-capacity nodes; the attempt budget bounds the
+  // rejection sampling once the open set is nearly paired up.
+  u64 attempts = u64{4} * n + 64;
+  while (open.size() >= 2 && attempts-- > 0) {
+    const u32 i = static_cast<u32>(r.next_below(open.size()));
+    const u32 j = static_cast<u32>(r.next_below(open.size()));
+    const u32 a = open[i], b = open[j];
+    if (a == b || !present.insert(std::minmax(a, b)).second) continue;
+    edges.push_back({a, b, draw_weight(r, max_weight)});
+    // Bump the higher index first so a swap-remove cannot invalidate the
+    // other index.
+    bump(std::max(i, j));
+    bump(std::min(i, j));
+  }
+  return finish(n, edges);
+}
+
 graph preferential_attachment(u32 n, u32 attach, u64 max_weight, u64 seed) {
   HYB_REQUIRE(n >= 2 && attach >= 1, "need >= 2 nodes and attach >= 1");
   rng r(seed);

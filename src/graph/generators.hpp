@@ -30,6 +30,14 @@ graph random_geometric(u32 n, double avg_degree, u64 max_weight, u64 seed);
 /// nodes (path_len + 1 edges).
 graph barbell(u32 k, u32 path_len, u64 max_weight = 1, u64 seed = 1);
 
+/// Connected random graph with every degree ≤ max_degree (≥ 2): a random
+/// attachment tree that only attaches to nodes with spare capacity, plus
+/// random extra edges between spare-capacity nodes until the capacity is
+/// (nearly) used up. The bounded degree keeps h-balls polynomially small,
+/// which is the regime the sparse exploration path
+/// (proto/sparse_exploration.hpp) targets at n ≫ 10⁴.
+graph bounded_degree(u32 n, u32 max_degree, u64 max_weight, u64 seed);
+
 /// Scale-free graph by preferential attachment (Barabási–Albert style):
 /// each new node attaches `attach` edges to endpoints drawn proportionally
 /// to degree. Models P2P-overlay-like local topologies from the paper's

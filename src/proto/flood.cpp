@@ -3,7 +3,9 @@
 // neighbors' round-frozen frontiers and writes only its own rows, so the
 // executor may run nodes concurrently; since adjacency lists are sorted by
 // node ID, the pull order reproduces the classic sequential push order
-// bit-for-bit (same known/next orderings, same tie-breaks).
+// bit-for-bit (same known/next orderings, same tie-breaks). The
+// frontier-emptiness checks that drive early exit are any_node reductions —
+// order-insensitive, so thread-count-invariant like every other observable.
 #include "proto/flood.hpp"
 
 #include <algorithm>
@@ -51,8 +53,8 @@ std::vector<std::vector<discovered_seed>> hop_discovery(
     net.charge_local(items);
     net.advance_round();
     frontier = std::move(next);
-    bool any = false;
-    for (const auto& f : frontier) any |= !f.empty();
+    const bool any = net.executor().any_node(
+        n, [&](u32 v) { return !frontier[v].empty(); });
     if (!any && r < rounds) {
       if (early_exit) {
         // Detecting global saturation costs one AND-aggregation.
@@ -124,8 +126,8 @@ std::vector<std::vector<source_distance>> limited_bellman_ford(
     net.charge_local(items);
     if (advance_rounds) net.advance_round();
     frontier = std::move(next);
-    bool any = false;
-    for (const auto& f : frontier) any |= !f.empty();
+    const bool any = net.executor().any_node(
+        n, [&](u32 v) { return !frontier[v].empty(); });
     if (!any) {
       if (advance_rounds)
         for (u32 rest = r + 1; rest < h; ++rest) net.advance_round();
@@ -182,8 +184,8 @@ std::vector<std::vector<u64>> full_local_exploration(
     net.charge_local(items);
     if (advance_rounds) net.advance_round();
     frontier = std::move(next);
-    bool any = false;
-    for (const auto& f : frontier) any |= !f.empty();
+    const bool any = net.executor().any_node(
+        n, [&](u32 v) { return !frontier[v].empty(); });
     if (!any) {
       if (advance_rounds)
         for (u32 rest = r + 1; rest < h; ++rest) net.advance_round();
@@ -233,8 +235,8 @@ std::vector<std::vector<u32>> table_flood(hybrid_net& net,
     net.charge_local(items);
     net.advance_round();
     frontier = std::move(next);
-    bool any = false;
-    for (const auto& f : frontier) any |= !f.empty();
+    const bool any = net.executor().any_node(
+        n, [&](u32 v) { return !frontier[v].empty(); });
     if (!any && r < rounds) {
       for (u32 rest = r + 1; rest <= rounds; ++rest) net.advance_round();
       break;
@@ -278,8 +280,8 @@ std::vector<u32> truncated_eccentricity(hybrid_net& net, u32 rounds) {
     net.charge_local(items);
     net.advance_round();
     frontier = std::move(next);
-    bool any = false;
-    for (const auto& f : frontier) any |= !f.empty();
+    const bool any = net.executor().any_node(
+        n, [&](u32 v) { return !frontier[v].empty(); });
     if (!any && r < rounds) {
       for (u32 rest = r + 1; rest <= rounds; ++rest) net.advance_round();
       break;

@@ -72,7 +72,9 @@ std::vector<std::vector<source_distance>> limited_bellman_ford(
     bool advance_rounds = true);
 
 /// (3) Full h-hop-limited APSP: matrix[u][v] = d_h(u, v) (kInfDist when v is
-/// outside u's h-hop horizon). Quadratic memory — callers bound n.
+/// outside u's h-hop horizon). Quadratic memory — callers bound n; for the
+/// neighborhood-bounded O(Σ|ball_h(v)|) variant the cores use, see
+/// proto/sparse_exploration.hpp (bit-identical triples and charging).
 /// When `first_hop` is non-null it receives an n×n matrix with each node's
 /// first hop on a d_h-realizing path to the target (self on the diagonal,
 /// ~0u when unreachable).

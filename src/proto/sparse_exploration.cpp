@@ -1,0 +1,214 @@
+// Sparse h-hop exploration: the dense pull loops of proto/flood.cpp with
+// the n-wide per-node distance vectors replaced by sparse_dist_maps. The
+// round structure, pull order, relaxation condition, frontier filtering,
+// charging, and early-exit round accounting are kept line-for-line
+// equivalent, which is what makes the sparse path bit-identical to the
+// dense one (the differential suite asserts it, triples and metrics both).
+#include "proto/sparse_exploration.hpp"
+
+#include <algorithm>
+
+#include "proto/flood.hpp"
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+namespace {
+
+/// Fibonacci multiplicative mix; sources are sequential small ints, so the
+/// multiply spreads them across the probe table.
+u32 hash_source(u32 source, u32 mask) {
+  return static_cast<u32>((u64{source} * 0x9E3779B97F4A7C15ull) >> 32) & mask;
+}
+
+void require_distinct(const std::vector<u32>& sources, u32 n) {
+  std::vector<u32> sorted(sources);
+  std::sort(sorted.begin(), sorted.end());
+  HYB_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+              "exploration sources must be distinct");
+  HYB_REQUIRE(sorted.empty() || sorted.back() < n, "source out of range");
+}
+
+}  // namespace
+
+u64 sparse_dist_map::dist_of(u32 source) const {
+  if (table_.empty()) return kInfDist;
+  u32 i = hash_source(source, mask_);
+  for (;;) {
+    const u32 slot = table_[i];
+    if (slot == 0) return kInfDist;
+    if (entries_[slot - 1].source == source) return entries_[slot - 1].dist;
+    i = (i + 1) & mask_;
+  }
+}
+
+u32* sparse_dist_map::find_slot(u32 source) {
+  u32 i = hash_source(source, mask_);
+  for (;;) {
+    u32& slot = table_[i];
+    if (slot == 0 || entries_[slot - 1].source == source) return &slot;
+    i = (i + 1) & mask_;
+  }
+}
+
+bool sparse_dist_map::relax(u32 source, u64 nd, u32 via) {
+  if (table_.empty()) grow();
+  u32* slot = find_slot(source);
+  if (*slot != 0) {
+    exploration_entry& e = entries_[*slot - 1];
+    if (nd >= e.dist) return false;
+    e.dist = nd;
+    e.first_hop = via;
+    return true;
+  }
+  entries_.push_back({nd, source, via});
+  *slot = static_cast<u32>(entries_.size());
+  // Keep load factor under 1/2 so probe chains stay short.
+  if (2 * entries_.size() >= table_.size()) grow();
+  return true;
+}
+
+void sparse_dist_map::grow() {
+  const u32 cap = table_.empty() ? 8 : static_cast<u32>(table_.size()) * 2;
+  table_.assign(cap, 0);
+  mask_ = cap - 1;
+  for (u32 k = 0; k < entries_.size(); ++k)
+    *find_slot(entries_[k].source) = k + 1;
+}
+
+void sparse_dist_map::clear() {
+  entries_.clear();
+  std::fill(table_.begin(), table_.end(), 0);
+}
+
+sparse_exploration_result sparse_local_exploration(
+    hybrid_net& net, u32 h, bool advance_rounds,
+    const std::vector<u32>* sources, bool first_hops) {
+  const graph& g = net.g();
+  const u32 n = g.num_nodes();
+  std::vector<sparse_dist_map> dist(n);
+  // As in the dense loops, frontier entries carry the value of the round
+  // that produced them, so information moves exactly one hop per round;
+  // source_distance::source holds the source NODE id here.
+  std::vector<std::vector<source_distance>> frontier(n);
+  if (sources) {
+    require_distinct(*sources, n);
+    for (u32 s : *sources) {
+      dist[s].relax(s, 0, s);
+      frontier[s].push_back({s, 0, s});
+    }
+  } else {
+    for (u32 v = 0; v < n; ++v) {
+      dist[v].relax(v, 0, v);
+      frontier[v].push_back({v, 0, v});
+    }
+  }
+  for (u32 r = 0; r < h; ++r) {
+    std::vector<std::vector<source_distance>> next(n);
+    const u64 items = net.executor().sum_nodes(n, [&](u32 v) -> u64 {
+      u64 mine = 0;
+      sparse_dist_map& dv = dist[v];
+      for (const edge& e : g.neighbors(v)) {
+        const std::vector<source_distance>& from = frontier[e.to];
+        mine += from.size();
+        for (const source_distance& f : from)
+          if (dv.relax(f.source, f.dist + e.weight, e.to))
+            next[v].push_back({f.source, f.dist + e.weight, e.to});
+      }
+      // Drop superseded entries — a later, smaller update for the same
+      // source makes earlier queued ones redundant (same filter as the
+      // dense loops; dv is final for the round once this step ends).
+      next[v].erase(std::remove_if(next[v].begin(), next[v].end(),
+                                   [&](const source_distance& sd) {
+                                     return sd.dist != dv.dist_of(sd.source);
+                                   }),
+                    next[v].end());
+      return mine;
+    });
+    net.charge_local(items);
+    if (advance_rounds) net.advance_round();
+    frontier = std::move(next);
+    const bool any = net.executor().any_node(
+        n, [&](u32 v) { return !frontier[v].empty(); });
+    if (!any) {
+      if (advance_rounds)
+        for (u32 rest = r + 1; rest < h; ++rest) net.advance_round();
+      break;
+    }
+  }
+  // Flatten the per-node maps into the CSR arena, each node's triples
+  // sorted by source id (canonical order, thread-count-invariant).
+  sparse_exploration_result out;
+  out.offsets.assign(n + 1, 0);
+  for (u32 v = 0; v < n; ++v) out.offsets[v + 1] = out.offsets[v] + dist[v].size();
+  out.entries.resize(out.offsets[n]);
+  net.executor().for_nodes(n, [&](u32 v) {
+    const std::span<const exploration_entry> src = dist[v].entries();
+    exploration_entry* at = out.entries.data() + out.offsets[v];
+    std::copy(src.begin(), src.end(), at);
+    if (!first_hops)
+      for (u32 k = 0; k < src.size(); ++k) at[k].first_hop = ~u32{0};
+    std::sort(at, at + src.size(),
+              [](const exploration_entry& a, const exploration_entry& b) {
+                return a.source < b.source;
+              });
+  });
+  return out;
+}
+
+sparse_exploration_result dense_local_exploration(
+    hybrid_net& net, u32 h, bool advance_rounds,
+    const std::vector<u32>* sources, bool first_hops) {
+  const u32 n = net.n();
+  sparse_exploration_result out;
+  out.offsets.assign(n + 1, 0);
+  if (!sources) {
+    // The n² u32 first-hop matrix is only materialized when asked for.
+    std::vector<std::vector<u32>> first_hop;
+    const std::vector<std::vector<u64>> dist = full_local_exploration(
+        net, h, advance_rounds, first_hops ? &first_hop : nullptr);
+    for (u32 v = 0; v < n; ++v) {
+      u64 reached = 0;
+      for (u32 s = 0; s < n; ++s) reached += dist[v][s] != kInfDist;
+      out.offsets[v + 1] = out.offsets[v] + reached;
+    }
+    out.entries.resize(out.offsets[n]);
+    net.executor().for_nodes(n, [&](u32 v) {
+      exploration_entry* at = out.entries.data() + out.offsets[v];
+      for (u32 s = 0; s < n; ++s)
+        if (dist[v][s] != kInfDist)
+          *at++ = {dist[v][s], s, first_hops ? first_hop[v][s] : ~u32{0}};
+    });
+    return out;
+  }
+  require_distinct(*sources, n);
+  const std::vector<std::vector<source_distance>> got =
+      limited_bellman_ford(net, *sources, h, advance_rounds);
+  for (u32 v = 0; v < n; ++v)
+    out.offsets[v + 1] = out.offsets[v] + got[v].size();
+  out.entries.resize(out.offsets[n]);
+  net.executor().for_nodes(n, [&](u32 v) {
+    exploration_entry* at = out.entries.data() + out.offsets[v];
+    for (const source_distance& sd : got[v])
+      *at++ = {sd.dist, (*sources)[sd.source],
+               first_hops ? sd.via : ~u32{0}};
+    std::sort(out.entries.data() + out.offsets[v], at,
+              [](const exploration_entry& a, const exploration_entry& b) {
+                return a.source < b.source;
+              });
+  });
+  return out;
+}
+
+sparse_exploration_result run_local_exploration(hybrid_net& net, u32 h,
+                                                bool advance_rounds,
+                                                const std::vector<u32>* sources,
+                                                bool first_hops) {
+  return resolve_exploration(net.options(), net.n()) == exploration_path::kDense
+             ? dense_local_exploration(net, h, advance_rounds, sources,
+                                       first_hops)
+             : sparse_local_exploration(net, h, advance_rounds, sources,
+                                        first_hops);
+}
+
+}  // namespace hybrid

@@ -1,0 +1,122 @@
+// Neighborhood-bounded local exploration (the sparse counterpart of
+// proto/flood.hpp's full_local_exploration / limited_bellman_ford).
+//
+// The paper's APSP/k-SSP algorithms spend their local phase on h-hop
+// exploration. The dense primitives keep an n-wide distance vector per node
+// — O(n²) memory by design — which dies long before n ≈ 10⁵ on sparse
+// graphs even though each node only ever hears from its h-ball. This module
+// stores exactly what a node learns: per node v an open-addressed flat map
+// from source id to (dist, first_hop), so total memory is O(Σᵥ|ball_h(v)|)
+// instead of O(n²). The sparse regime is where HYBRID shines (Feldmann et
+// al. 2020, PAPERS.md), and the trick is sound because Kuhn & Schneider's
+// "run local exploration in parallel" step only ever needs the h-ball.
+//
+// Equivalence contract (differentially tested in
+// tests/sparse_exploration_test.cpp, gated in CI):
+//   * the sparse path produces the same (source, dist, first_hop) triples
+//     as the dense path, bit for bit, at every thread count;
+//   * it charges the same local traffic and advances the same rounds —
+//     the round loop is structurally identical, only the per-node distance
+//     storage differs;
+//   * tie-breaks are identical: the first neighbor in sorted adjacency
+//     order that strictly improves a source's distance becomes the first
+//     hop, exactly as in the dense pull loops (docs/CONCURRENCY.md §3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/hybrid_net.hpp"
+
+namespace hybrid {
+
+/// One reached source at one node: d_h(v, source) plus v's first hop on a
+/// d_h-realizing path toward it (self for the source itself). Field order
+/// keeps the struct at 16 bytes — the unit the O(Σ|ball_h(v)|) bound counts.
+struct exploration_entry {
+  u64 dist;
+  u32 source;     ///< source NODE id (not an index into a sources vector)
+  u32 first_hop;  ///< neighbor toward the source; self at the source
+  friend bool operator==(const exploration_entry&,
+                         const exploration_entry&) = default;
+};
+
+/// Open-addressed flat map keyed by source id, holding each node's reached
+/// set during an exploration. Entries live in a dense insertion-ordered
+/// vector (cheap iteration and flattening); the power-of-two probe table
+/// stores slot indices only. clear() keeps capacity so a map can be reused
+/// as per-node scratch across explorations without reallocating.
+class sparse_dist_map {
+ public:
+  /// d(source) as currently known, kInfDist when the source was never seen.
+  u64 dist_of(u32 source) const;
+
+  /// The relaxation primitive: adopt (nd, via) iff nd strictly improves on
+  /// the current distance (absent counts as kInfDist). Returns true when it
+  /// did — the exact condition the dense loops use to extend the frontier.
+  bool relax(u32 source, u64 nd, u32 via);
+
+  /// Reached sources in insertion (discovery) order.
+  std::span<const exploration_entry> entries() const { return entries_; }
+  u32 size() const { return static_cast<u32>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Forget all entries but keep both arrays' capacity.
+  void clear();
+
+ private:
+  u32* find_slot(u32 source);
+  void grow();
+
+  std::vector<exploration_entry> entries_;
+  /// Probe table of entry index + 1 (0 = empty); size is a power of two.
+  std::vector<u32> table_;
+  u32 mask_ = 0;  ///< table_.size() - 1, 0 while the table is empty
+};
+
+/// Per-node reached sets in one flat CSR arena: node v's triples are
+/// entries[offsets[v] .. offsets[v+1]), sorted by source id. Memory is
+/// O(total_reached()) = O(Σᵥ|ball_h(v)|), never O(n²).
+struct sparse_exploration_result {
+  std::vector<u64> offsets;  ///< size n + 1
+  std::vector<exploration_entry> entries;
+
+  std::span<const exploration_entry> reached(u32 v) const {
+    return {entries.data() + offsets[v], entries.data() + offsets[v + 1]};
+  }
+  u64 total_reached() const { return entries.size(); }
+  friend bool operator==(const sparse_exploration_result&,
+                         const sparse_exploration_result&) = default;
+};
+
+/// h rounds of exploration from `sources` (nullptr = every node explores,
+/// the full_local_exploration workload; otherwise the limited_bellman_ford
+/// workload — sources must be distinct). Per-node distance state lives in
+/// sparse_dist_maps, so memory is bounded by the h-ball sizes. Round and
+/// traffic accounting matches the dense primitives exactly; with
+/// `advance_rounds` false only traffic is charged (the paper's
+/// run-in-parallel trick, Lemma 4.3). With `first_hops` false every
+/// entry's first_hop is ~0 — callers that only consume (source, dist)
+/// spare the dense reference path its n² first-hop matrix, and the
+/// cross-path bit-identity contract holds in either mode.
+sparse_exploration_result sparse_local_exploration(
+    hybrid_net& net, u32 h, bool advance_rounds,
+    const std::vector<u32>* sources = nullptr, bool first_hops = true);
+
+/// The dense reference path behind the same interface: runs
+/// full_local_exploration (or limited_bellman_ford for a source subset)
+/// and flattens the n-wide rows into the sparse triple format. O(n²)
+/// memory — callers bound n; kept for small instances and for
+/// differentially testing the sparse path.
+sparse_exploration_result dense_local_exploration(
+    hybrid_net& net, u32 h, bool advance_rounds,
+    const std::vector<u32>* sources = nullptr, bool first_hops = true);
+
+/// What the cores call: dispatches on resolve_exploration(net.options(),
+/// net.n()). Both paths return identical triples and charge identical
+/// rounds/messages, so the choice is a memory/speed trade only.
+sparse_exploration_result run_local_exploration(
+    hybrid_net& net, u32 h, bool advance_rounds,
+    const std::vector<u32>* sources = nullptr, bool first_hops = true);
+
+}  // namespace hybrid

@@ -38,12 +38,34 @@
 
 namespace hybrid {
 
+/// Which h-hop local-exploration implementation the cores run
+/// (proto/sparse_exploration.hpp). `kDense` is the original n-wide
+/// per-node distance vectors (O(n²) memory, cache-friendly at small n);
+/// `kSparse` bounds memory by the h-ball sizes instead. Both produce
+/// bit-identical results and charge identical rounds/messages — the dense
+/// path stays selectable for small n and for differential testing.
+enum class exploration_path : u8 { kAuto = 0, kDense, kSparse };
+
 struct sim_options {
   /// Worker threads for node-parallel round steps. 0 = auto: the
   /// HYBRID_THREADS environment variable when set to a positive integer,
   /// else std::thread::hardware_concurrency().
   u32 threads = 0;
+  /// Local-exploration implementation; kAuto picks kDense up to
+  /// kDenseExplorationMaxNodes nodes and kSparse beyond.
+  exploration_path exploration = exploration_path::kAuto;
 };
+
+/// Largest n for which exploration_path::kAuto stays on the dense path
+/// (above it the n² matrices dominate memory and sparse wins).
+inline constexpr u32 kDenseExplorationMaxNodes = 4096;
+
+/// The exploration path `sim_options` resolves to for an n-node network.
+inline exploration_path resolve_exploration(const sim_options& opts, u32 n) {
+  if (opts.exploration != exploration_path::kAuto) return opts.exploration;
+  return n <= kDenseExplorationMaxNodes ? exploration_path::kDense
+                                        : exploration_path::kSparse;
+}
 
 /// The thread count `sim_options` resolves to (see above). Never 0.
 u32 resolve_threads(const sim_options& opts);

@@ -33,6 +33,7 @@ hybrid_net::hybrid_net(const graph& g, model_config cfg, u64 seed,
                        sim_options opts)
     : g_(&g),
       cfg_(cfg),
+      opts_(opts),
       exec_(opts),
       global_cap_(compute_global_cap(cfg, g.num_nodes())),
       // Slabs start at 8 slots, not γ: an idle or send-light network pays

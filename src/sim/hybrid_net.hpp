@@ -74,6 +74,9 @@ class hybrid_net {
   const graph& g() const { return *g_; }
   u32 n() const { return g_->num_nodes(); }
   const model_config& config() const { return cfg_; }
+  /// The sim_options this net was constructed with (thread count as given,
+  /// exploration path unresolved — see resolve_exploration).
+  const sim_options& options() const { return opts_; }
 
   /// Node-parallel round executor (docs/CONCURRENCY.md). Protocol drivers
   /// run their per-node round steps through this; within a step for node v,
@@ -144,6 +147,7 @@ class hybrid_net {
 
   const graph* g_;
   model_config cfg_;
+  sim_options opts_;
   round_executor exec_;
   u32 global_cap_;
   u32 hash_independence_;

@@ -95,6 +95,39 @@ TEST(Generators, PreferentialAttachmentWeighted) {
   EXPECT_GE(g.max_weight(), 2u);
 }
 
+TEST(Generators, BoundedDegreeRespectsCap) {
+  for (u32 cap : {2u, 3u, 6u}) {
+    const graph g = gen::bounded_degree(500, cap, 1, 19);
+    EXPECT_EQ(g.num_nodes(), 500u);
+    EXPECT_TRUE(g.is_connected());
+    u64 total_deg = 0;
+    for (u32 v = 0; v < 500; ++v) {
+      EXPECT_LE(g.degree(v), cap);
+      total_deg += g.degree(v);
+    }
+    // The extra-edge phase should use up most of the capacity — well
+    // beyond the spanning tree's 2(n-1) = 998, which it provides by
+    // construction. (With these seeds it saturates cap·n exactly.)
+    EXPECT_GE(total_deg, u64{9} * cap * 500 / 10);
+  }
+}
+
+TEST(Generators, BoundedDegreeWeightedAndDeterministic) {
+  const graph g1 = gen::bounded_degree(200, 4, 9, 23);
+  const graph g2 = gen::bounded_degree(200, 4, 9, 23);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_LE(g1.max_weight(), 9u);
+  for (u32 v = 0; v < 200; ++v) {
+    const auto n1 = g1.neighbors(v);
+    const auto n2 = g2.neighbors(v);
+    ASSERT_EQ(n1.size(), n2.size());
+    for (u32 i = 0; i < n1.size(); ++i) {
+      EXPECT_EQ(n1[i].to, n2[i].to);
+      EXPECT_EQ(n1[i].weight, n2[i].weight);
+    }
+  }
+}
+
 TEST(Generators, Barbell) {
   const graph g = gen::barbell(5, 10);
   EXPECT_EQ(g.num_nodes(), 20u);
