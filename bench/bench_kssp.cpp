@@ -106,6 +106,11 @@ int main(int argc, char** argv) {
       "worst-case injected CLIQUE plug-ins");
   table t1b({"algorithm", "graph", "n", "rounds", "max stretch",
              "proven bound", "under-est"});
+  // n = 6144 is past the result_storage::kAuto materialization cutoff;
+  // measure() reads res.dist, so ask for the dense adapter explicitly
+  // (8 × n rows — trivial at this size).
+  sim_options dense_storage;
+  dense_storage.storage = result_storage::kDense;
   for (u32 n : {4096u, 6144u}) {
     for (bool weighted : {false, true}) {
       const u64 w = weighted ? 16 : 1;
@@ -113,8 +118,8 @@ int main(int argc, char** argv) {
       std::vector<u32> sources = pick_sources(n, 8, 3 + n);
       {
         const auto alg = make_clique_kssp_1eps(0.25, injection::worst_case);
-        const kssp_result res =
-            hybrid_kssp(g, model_config{}, 31 + n, sources, alg);
+        const kssp_result res = hybrid_kssp(g, model_config{}, 31 + n,
+                                            sources, alg, false, dense_storage);
         const stretch s = measure(res, g);
         const double bound =
             weighted ? res.bound_weighted : res.bound_unweighted;
@@ -126,8 +131,8 @@ int main(int argc, char** argv) {
       }
       {
         const auto alg = make_clique_apsp_2eps(0.25, injection::worst_case);
-        const kssp_result res =
-            hybrid_kssp(g, model_config{}, 37 + n, sources, alg);
+        const kssp_result res = hybrid_kssp(g, model_config{}, 37 + n,
+                                            sources, alg, false, dense_storage);
         const stretch s = measure(res, g);
         const double bound =
             weighted ? res.bound_weighted : res.bound_unweighted;

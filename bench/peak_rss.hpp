@@ -1,0 +1,55 @@
+// Peak-RSS probes shared by the memory-regime benches
+// (bench_sparse_exploration, bench_apsp).
+#pragma once
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace benchrss {
+
+/// Reset the kernel's peak-RSS water mark so each scenario reports its own
+/// peak (Linux only; elsewhere peaks stay monotone across scenarios).
+inline void reset_peak_rss() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
+    std::fputs("5", f);
+    std::fclose(f);
+  }
+#endif
+}
+
+/// Peak RSS in MB since the last reset_peak_rss() (VmHWM on Linux; the
+/// monotone process-lifetime getrusage value elsewhere; 0 when neither
+/// source is available).
+inline double peak_rss_mb() {
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    double kb = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof line, f))
+      if (std::sscanf(line, "VmHWM: %lf kB", &kb) == 1) {
+        found = true;
+        break;
+      }
+    std::fclose(f);
+    if (found) return kb / 1024.0;
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KB
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace benchrss

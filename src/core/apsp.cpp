@@ -36,18 +36,10 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
   disseminate(net, std::move(edge_tokens));
   const std::vector<std::vector<u64>> dist_s = skeleton_apsp(sk);
 
-  // Every node v: d(v, s) = min_{u near v} d_h(v, u) + d_S(u, s)
-  // (free local computation; all inputs are known to v — parallel over v).
-  std::vector<std::vector<u64>> to_skel(n, std::vector<u64>(n_s, kInfDist));
-  net.executor().for_nodes(n, [&](u32 v) {
-    for (const source_distance& sd : sk.near[v])
-      for (u32 s = 0; s < n_s; ++s) {
-        const u64 cand = sd.dist + dist_s[sd.source][s];
-        to_skel[v][s] = std::min(to_skel[v][s], cand);
-      }
-  });
-
   // ---- 3. token routing: every v sends d(v, s) to each s ∈ V_S -----------
+  // d(v, s) = min_{u near v} d_h(v, u) + d_S(u, s) is free local
+  // computation (all inputs known to v), written straight into v's token
+  // batch — no n × n_s staging matrix (parallel over v).
   net.begin_phase("token_routing");
   routing_spec spec;
   spec.senders.resize(n);
@@ -58,21 +50,28 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
   spec.k_s = n_s;
   spec.k_r = n;
   std::vector<std::vector<routed_token>> batch(n);
-  for (u32 v = 0; v < n; ++v) {
+  net.executor().for_nodes(n, [&](u32 v) {
     batch[v].reserve(n_s);
-    for (u32 s = 0; s < n_s; ++s)
-      batch[v].push_back({v, sk.nodes[s], 0, to_skel[v][s]});
-  }
-  const auto delivered = run_token_routing(net, std::move(spec), batch);
+    for (u32 s = 0; s < n_s; ++s) batch[v].push_back({v, sk.nodes[s], 0, kInfDist});
+    for (const source_distance& sd : sk.near[v])
+      for (u32 s = 0; s < n_s; ++s) {
+        const u64 cand = sd.dist + dist_s[sd.source][s];
+        batch[v][s].payload = std::min(batch[v][s].payload, cand);
+      }
+  });
+  auto delivered = run_token_routing(net, std::move(spec), std::move(batch));
 
-  // labels[s][v] = d(s, v) assembled at skeleton node s (parallel over s).
-  std::vector<std::vector<u64>> labels(n_s, std::vector<u64>(n, kInfDist));
+  // skel[s·n + v] = d(s, v) assembled at skeleton node s (parallel over s;
+  // each delivered slice is dropped once its row is written).
+  out.labels.skel.assign(u64{n_s} * n, kInfDist);
   net.executor().for_nodes(n_s, [&](u32 s) {
     HYB_INVARIANT(delivered[s].size() == n, "skeleton node missed tokens");
-    for (const routed_token& t : delivered[s]) labels[s][t.sender] = t.payload;
+    u64* lbl = out.labels.skel.data() + u64{s} * n;
+    for (const routed_token& t : delivered[s]) lbl[t.sender] = t.payload;
+    std::vector<routed_token>().swap(delivered[s]);
   });
 
-  // ---- 4. label flood + parallel local exploration + assembly ------------
+  // ---- 4. label flood + parallel local exploration -----------------------
   net.begin_phase("label_flood");
   table_flood(net, sk.nodes, std::vector<u64>(n_s, n), sk.h);
   // The full h-hop exploration runs on the local network in parallel with
@@ -80,47 +79,47 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
   // run_local_exploration picks the dense or ball-bounded sparse path per
   // sim_options (proto/sparse_exploration.hpp) — triples and charging are
   // bit-identical either way.
-  const sparse_exploration_result local = run_local_exploration(
+  out.labels.ball = run_local_exploration(
       net, sk.h, /*advance_rounds=*/false, nullptr, /*first_hops=*/false);
 
-  // The O(n²·|near|) assembly is the simulator's hottest loop; each node u
-  // writes only its own distance row, so it runs node-parallel.
-  out.dist.assign(n, std::vector<u64>(n, kInfDist));
-  net.executor().for_nodes(n, [&](u32 u) {
-    std::vector<u64>& row = out.dist[u];
-    for (const exploration_entry& e : local.reached(u)) row[e.source] = e.dist;
-    for (const source_distance& sd : sk.near[u]) {
-      const std::vector<u64>& lbl = labels[sd.source];
-      for (u32 v = 0; v < n; ++v)
-        row[v] = std::min(row[v], sd.dist + lbl[v]);
-    }
+  // Every node now holds its label: ball + gateways + the flooded skeleton
+  // table. Package them as the dist_labels oracle (core/dist_oracle.hpp).
+  out.labels.n = n;
+  out.labels.n_s = n_s;
+  out.labels.h = sk.h;
+  out.labels.scheme = label_scheme::kSkeletonRows;
+  out.labels.topo = &g;
+  out.labels.skeleton_nodes = sk.nodes;
+  out.labels.gw_offsets.assign(n + 1, 0);
+  for (u32 v = 0; v < n; ++v)
+    out.labels.gw_offsets[v + 1] = out.labels.gw_offsets[v] + sk.near[v].size();
+  out.labels.gateways.resize(out.labels.gw_offsets[n]);
+  net.executor().for_nodes(n, [&](u32 v) {
+    std::copy(sk.near[v].begin(), sk.near[v].end(),
+              out.labels.gateways.begin() +
+                  static_cast<std::ptrdiff_t>(out.labels.gw_offsets[v]));
   });
 
   if (build_routes) {
-    // One more LOCAL round: every node shares its (exact) distance vector
-    // with its neighbors; next_hop[u][v] = argmin_w w(u,w) + d(w,v). With
+    // One more LOCAL round: every node shares its (exact) distance labels
+    // with its neighbors; next_hop(u, v) = argmin_w w(u,w) + d(w,v). With
     // exact distances and weights ≥ 1 the remaining distance strictly
     // decreases along every hop, so greedy forwarding is loop-free and
     // realizes d(u,v) (the paper's IP-routing application).
     net.begin_phase("route_tables");
     net.charge_local(2 * g.num_edges() * n);
     net.advance_round();
-    out.next_hop.assign(n, std::vector<u32>(n, ~u32{0}));
-    net.executor().for_nodes(n, [&](u32 u) {
-      out.next_hop[u][u] = u;
-      for (const edge& e : net.g().neighbors(u)) {
-        const std::vector<u64>& nbr = out.dist[e.to];
-        for (u32 v = 0; v < n; ++v) {
-          if (v == u || nbr[v] == kInfDist) continue;
-          const u64 through = e.weight + nbr[v];
-          if (through == out.dist[u][v] &&
-              (out.next_hop[u][v] == ~u32{0} || e.to < out.next_hop[u][v]))
-            out.next_hop[u][v] = e.to;
-        }
-      }
-    });
+    out.labels.routes = true;
   }
   out.metrics = net.snapshot();
+
+  // Dense adapters for pre-oracle callers (free local computation — the
+  // labels already determine every entry).
+  if (resolve_materialize(opts, n)) {
+    out.dist = out.labels.materialize(net.executor());
+    if (build_routes)
+      out.next_hop = out.labels.materialize_next_hops(out.dist, net.executor());
+  }
   return out;
 }
 

@@ -11,33 +11,47 @@
 //      v routes one token per skeleton node s carrying d(v, s) with token
 //      routing — Õ(n·(n/x)/n + √n) = Õ(√n) rounds (proof of Theorem 1.1);
 //   4. every skeleton node s now knows d(s, v) for all v and floods the
-//      label table h hops; nodes assemble
-//        d(u, v) = min(d_h(u, v), min_{s near u} d_h(u, s) + d(s, v)).
+//      label table h hops; every node now holds the per-node labels of
+//      core/dist_oracle.hpp and can answer
+//        d(u, v) = min(d_h(u, v), min_{s near u} d_h(u, s) + d(s, v))
+//      as a free local computation.
 #pragma once
 
+#include "core/dist_oracle.hpp"
 #include "graph/graph.hpp"
 #include "sim/hybrid_net.hpp"
 
 namespace hybrid {
 
 struct apsp_result {
-  std::vector<std::vector<u64>> dist;  ///< dist[u][v]
-  /// When built (see below): next_hop[u][v] = u's neighbor on a shortest
-  /// u→v path (u itself on the diagonal). Greedy forwarding along these
-  /// entries realizes exactly dist[u][v] — the paper's IP-routing
-  /// application (Section 1).
+  /// The native output: queryable per-node distance labels (always built).
+  /// `labels.query(u, v)` / `labels.next_hop(u, v)` / `labels.row(u)` answer
+  /// from Õ(|ball_h(u)| + |V_S|)-word node labels; `labels.topo` points at
+  /// the caller's graph, which must outlive the result.
+  dist_labels labels;
+  /// Dense adapters over the labels, filled when resolve_materialize(opts,
+  /// n) holds (sim_options{storage}; auto = n ≤ kDenseExplorationMaxNodes)
+  /// so pre-oracle callers stay source-compatible: dist[u][v], and — with
+  /// `build_routes` — next_hop[u][v] = u's neighbor on a shortest u→v path
+  /// (u itself on the diagonal). Greedy forwarding along next-hop entries
+  /// realizes exactly dist[u][v] — the paper's IP-routing application
+  /// (Section 1).
+  std::vector<std::vector<u64>> dist;
   std::vector<std::vector<u32>> next_hop;
   run_metrics metrics;
   u32 skeleton_size = 0;
   u32 h = 0;
+
+  bool materialized() const { return !dist.empty(); }
 };
 
-/// Theorem 1.1. With `build_routes` every node additionally derives its
-/// next-hop routing table from information it already holds (free local
-/// computation: the local exploration's first hops and its chosen skeleton
-/// gateway), so the round complexity is unchanged. `opts` selects the
-/// executor thread count (docs/CONCURRENCY.md); results are bit-identical
-/// for every thread count.
+/// Theorem 1.1. With `build_routes` every node additionally exchanges its
+/// distance labels with its neighbors in one more LOCAL round, after which
+/// next-hop routing is a free local computation (the round complexity is
+/// otherwise unchanged). `opts` selects the executor thread count, the
+/// exploration path, and the result storage (docs/CONCURRENCY.md,
+/// core/dist_oracle.hpp); distances, labels, and metrics are bit-identical
+/// for every thread count, either exploration path, and either storage mode.
 apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
                               u64 seed, bool build_routes = false,
                               sim_options opts = {});

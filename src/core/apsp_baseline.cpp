@@ -43,31 +43,40 @@ apsp_baseline_result baseline_apsp_ahkss(const graph& g,
       label_tokens[v].push_back({(u64{v} << 32) | sd.source, sd.dist});
       ++out.labels_broadcast;
     }
-  const dissemination_result labels =
-      disseminate(net, std::move(label_tokens));
+  disseminate(net, std::move(label_tokens));
 
-  // ---- 4. assemble locally ------------------------------------------------
+  // ---- 4. per-node labels ---------------------------------------------------
+  // After the broadcast every node holds all (v, s, d_h(v, s)) tokens and
+  // the public d_S, i.e. the two-sided label
+  //   d(u, v) = min(d_h(u, v),
+  //                 min_{s1 near u, s2 near v} d_h(u,s1) + d_S(s1,s2) + d_h(v,s2))
+  // — stored once as the dist_labels oracle instead of a per-node copy (the
+  // same content-is-identical sharing as table_flood, DESIGN.md deviation 2).
   net.begin_phase("assembly");
-  const sparse_exploration_result local = run_local_exploration(
+  out.labels.ball = run_local_exploration(
       net, sk.h, /*advance_rounds=*/false, nullptr, /*first_hops=*/false);
-
-  out.dist.assign(n, std::vector<u64>(n, kInfDist));
-  for (u32 u = 0; u < n; ++u) {
-    std::vector<u64>& row = out.dist[u];
-    for (const exploration_entry& e : local.reached(u)) row[e.source] = e.dist;
-    // A[s2] = min_{s1 near u} d_h(u, s1) + d_S(s1, s2).
-    std::vector<u64> a(n_s, kInfDist);
-    for (const source_distance& sd : sk.near[u])
-      for (u32 s2 = 0; s2 < n_s; ++s2)
-        a[s2] = std::min(a[s2], sd.dist + dist_s[sd.source][s2]);
-    for (const token2& t : labels.tokens) {
-      const u32 v = static_cast<u32>(t.a >> 32);
-      const u32 s2 = static_cast<u32>(t.a & 0xffffffffu);
-      if (a[s2] == kInfDist) continue;
-      row[v] = std::min(row[v], a[s2] + t.b);
-    }
-  }
+  out.labels.n = n;
+  out.labels.n_s = n_s;
+  out.labels.h = sk.h;
+  out.labels.scheme = label_scheme::kSkeletonPairs;
+  out.labels.topo = &g;
+  out.labels.skeleton_nodes = sk.nodes;
+  out.labels.skel.assign(u64{n_s} * n_s, kInfDist);
+  for (u32 i = 0; i < n_s; ++i)
+    for (u32 j = 0; j < n_s; ++j) out.labels.skel[u64{i} * n_s + j] = dist_s[i][j];
+  out.labels.gw_offsets.assign(n + 1, 0);
+  for (u32 v = 0; v < n; ++v)
+    out.labels.gw_offsets[v + 1] = out.labels.gw_offsets[v] + sk.near[v].size();
+  out.labels.gateways.resize(out.labels.gw_offsets[n]);
+  net.executor().for_nodes(n, [&](u32 v) {
+    std::copy(sk.near[v].begin(), sk.near[v].end(),
+              out.labels.gateways.begin() +
+                  static_cast<std::ptrdiff_t>(out.labels.gw_offsets[v]));
+  });
   out.metrics = net.snapshot();
+
+  if (resolve_materialize(opts, n))
+    out.dist = out.labels.materialize(net.executor());
   return out;
 }
 

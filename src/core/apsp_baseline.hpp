@@ -10,22 +10,31 @@
 // runtime is Õ(x + n/√x) = Õ(n^{2/3}).
 #pragma once
 
+#include "core/dist_oracle.hpp"
 #include "graph/graph.hpp"
 #include "sim/hybrid_net.hpp"
 
 namespace hybrid {
 
 struct apsp_baseline_result {
+  /// Two-sided labels (label_scheme::kSkeletonPairs): ball + gateways + the
+  /// public skeleton-pair distances. Always built; `labels.topo` points at
+  /// the caller's graph.
+  dist_labels labels;
+  /// Dense adapter, filled when resolve_materialize(opts, n) holds.
   std::vector<std::vector<u64>> dist;
   run_metrics metrics;
   u32 skeleton_size = 0;
   u32 h = 0;
   u64 labels_broadcast = 0;
+
+  bool materialized() const { return !dist.empty(); }
 };
 
-/// `opts` selects the executor thread count and the local-exploration path
-/// (docs/CONCURRENCY.md, proto/sparse_exploration.hpp); results are
-/// bit-identical for every thread count and either exploration path.
+/// `opts` selects the executor thread count, the local-exploration path, and
+/// the result storage (docs/CONCURRENCY.md, proto/sparse_exploration.hpp,
+/// core/dist_oracle.hpp); results are bit-identical for every thread count
+/// and either exploration path or storage mode.
 apsp_baseline_result baseline_apsp_ahkss(const graph& g,
                                          const model_config& cfg, u64 seed,
                                          sim_options opts = {});

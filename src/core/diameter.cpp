@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/sssp.hpp"
+#include "graph/diameter.hpp"
 #include "proto/aggregation.hpp"
 #include "proto/clique_embed.hpp"
 #include "proto/flood.hpp"
@@ -95,6 +96,38 @@ weighted_diameter_result hybrid_weighted_diameter_2approx(
   // Charge the aggregation that makes e(pivot) common knowledge.
   out.metrics.rounds += aggregation_rounds(g.num_nodes());
   out.metrics.global_messages += g.num_nodes();
+  return out;
+}
+
+u64 labels_exact_diameter(const dist_labels& labels, bool require_connected) {
+  HYB_REQUIRE(labels.scheme == label_scheme::kSkeletonRows,
+              "labels_exact_diameter consumes Theorem 1.1 labels");
+  return diameter_of_rows(
+      labels.n, [&](u32 u, std::vector<u64>& row) { labels.row_into(u, row); },
+      require_connected);
+}
+
+label_diameter_estimate diameter_estimate_from_labels(
+    const dist_labels& labels) {
+  HYB_REQUIRE(labels.scheme == label_scheme::kSkeletonRows,
+              "the skeleton estimate consumes Theorem 1.1 labels");
+  label_diameter_estimate out;
+  // M = max finite d(s, v): every s is itself a node, so M ≤ D.
+  for (u64 d : labels.skel)
+    if (d < kInfDist) out.skeleton_max = std::max(out.skeleton_max, d);
+  // L = max over nodes of the distance to their nearest gateway. d(u, v) ≤
+  // d_h(u, s_u) + d(s_u, v) ≤ L + M for covered u, so D ≤ M + L.
+  for (u32 v = 0; v < labels.n; ++v) {
+    u64 nearest = kInfDist;
+    for (const source_distance& sd : labels.gateways_of(v))
+      nearest = std::min(nearest, sd.dist);
+    if (nearest == kInfDist) continue;  // uncovered node: no skeleton in reach
+    ++out.covered;
+    out.gateway_slack = std::max(out.gateway_slack, nearest);
+  }
+  out.estimate = out.skeleton_max + out.gateway_slack;
+  out.bound = 1.0 + static_cast<double>(out.gateway_slack) /
+                        static_cast<double>(std::max<u64>(out.skeleton_max, 1));
   return out;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "clique/algorithms.hpp"
+#include "core/dist_oracle.hpp"
 #include "graph/graph.hpp"
 #include "sim/hybrid_net.hpp"
 
@@ -45,5 +46,40 @@ struct weighted_diameter_result {
 
 weighted_diameter_result hybrid_weighted_diameter_2approx(
     const graph& g, const model_config& cfg, u64 seed, u32 pivot = 0);
+
+// ---- diameter through the Theorem 1.1 distance labels ----------------------
+//
+// Once hybrid_apsp_exact has produced its labels, the weighted diameter is a
+// free local derivation — no further simulated rounds. Two consumers:
+//
+//   * labels_exact_diameter streams one label row at a time through
+//     graph/diameter's diameter_of_rows — exact, O(n) working memory, Θ(n²)
+//     query work (small and mid n);
+//   * diameter_estimate_from_labels touches only the skeleton table and the
+//     gateway lists — Θ(n_s·n + n) work, the form that completes at n = 10⁵.
+//     It is Equation (3)'s skeleton branch (D̃(S) + gateway legs) computed
+//     on the oracle: with M = max_{s,v} d(s, v) and L = max_v min-gateway
+//     distance, M ≤ D ≤ M + L, so `estimate` = M + L is a
+//     (1 + L/M)-approximation from above whenever every node has a gateway.
+
+/// Exact weighted diameter from one-sided APSP labels. `require_connected`
+/// mirrors the centralized reference; without it unreachable pairs are
+/// skipped.
+u64 labels_exact_diameter(const dist_labels& labels,
+                          bool require_connected = true);
+
+struct label_diameter_estimate {
+  u64 estimate = 0;       ///< M + L; D ≤ estimate when covered == n
+  u64 skeleton_max = 0;   ///< M = max finite d(s, v) over the table; M ≤ D
+  u64 gateway_slack = 0;  ///< L = max over covered nodes of min gateway dist
+  u32 covered = 0;        ///< nodes with at least one skeleton gateway
+  /// estimate ≤ bound·D when covered == n (bound = 1 + L/M; the measured
+  /// 1 + ε of the skeleton approximation).
+  double bound = 0.0;
+};
+
+/// Cheap diameter estimate from the skeleton part of one-sided labels.
+label_diameter_estimate diameter_estimate_from_labels(
+    const dist_labels& labels);
 
 }  // namespace hybrid

@@ -1,0 +1,163 @@
+// The oracle's query paths are the dense assembly loops of core/apsp.cpp,
+// core/apsp_baseline.cpp, and core/kssp_framework.cpp (as they stood before
+// PR 5), restricted to one pair or one row. Keeping the iteration order, the
+// relaxation arithmetic, and the kInfDist edge handling line-for-line
+// identical to those loops is what makes query()/materialize() bit-identical
+// to the retired eager matrices — the differential suite asserts it.
+#include "core/dist_oracle.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hybrid {
+
+namespace {
+
+/// Binary search one node's ball slice (sorted by source id).
+u64 ball_lookup(std::span<const exploration_entry> slice, u32 target) {
+  const auto it = std::lower_bound(
+      slice.begin(), slice.end(), target,
+      [](const exploration_entry& e, u32 v) { return e.source < v; });
+  if (it == slice.end() || it->source != target) return kInfDist;
+  return it->dist;
+}
+
+}  // namespace
+
+u64 dist_labels::ball_dist(u32 u, u32 v) const { return ball_lookup(ball.reached(u), v); }
+
+u64 dist_labels::query(u32 u, u32 v) const {
+  u64 best = ball_dist(u, v);
+  if (scheme == label_scheme::kSkeletonRows) {
+    // min_{s near u} d_h(u, s) + d(s, v) — the Theorem 1.1 assembly.
+    for (const source_distance& sd : gateways_of(u)) {
+      const u64 cand = sd.dist + skel[u64{sd.source} * n + v];
+      best = std::min(best, cand);
+    }
+  } else {
+    // min_{s1 near u, s2 near v} d_h(u,s1) + d_S(s1,s2) + d_h(v,s2) — the
+    // baseline assembly with A[s2] = min_{s1} d_h(u,s1) + d_S(s1,s2)
+    // evaluated per s2, including its skip-at-exactly-∞ filter.
+    for (const source_distance& to : gateways_of(v)) {
+      u64 a = kInfDist;
+      for (const source_distance& from : gateways_of(u))
+        a = std::min(a, from.dist + skel[u64{from.source} * n_s + to.source]);
+      if (a == kInfDist) continue;
+      best = std::min(best, a + to.dist);
+    }
+  }
+  return best;
+}
+
+u32 dist_labels::next_hop(u32 u, u32 v) const {
+  HYB_REQUIRE(routes, "next_hop requires labels built with build_routes");
+  HYB_REQUIRE(topo != nullptr, "next_hop requires the local graph");
+  if (u == v) return u;
+  const u64 du = query(u, v);
+  // The dense loop: among neighbors w with w(u,w) + d(w,v) == d(u,v), the
+  // smallest ID wins; unreachable targets keep ~0.
+  u32 best = ~u32{0};
+  for (const edge& e : topo->neighbors(u)) {
+    const u64 dn = query(e.to, v);
+    if (dn == kInfDist) continue;
+    if (e.weight + dn == du && (best == ~u32{0} || e.to < best)) best = e.to;
+  }
+  return best;
+}
+
+void dist_labels::row_into(u32 u, std::vector<u64>& out) const {
+  out.assign(n, kInfDist);
+  for (const exploration_entry& e : ball.reached(u)) out[e.source] = e.dist;
+  if (scheme == label_scheme::kSkeletonRows) {
+    for (const source_distance& sd : gateways_of(u)) {
+      const u64* lbl = skel.data() + u64{sd.source} * n;
+      for (u32 v = 0; v < n; ++v) out[v] = std::min(out[v], sd.dist + lbl[v]);
+    }
+  } else {
+    // A[s2] = min_{s1 near u} d_h(u, s1) + d_S(s1, s2), then one gateway
+    // scan per target — the baseline loop with its token scan replaced by
+    // the equivalent per-target gateway lists.
+    std::vector<u64> a(n_s, kInfDist);
+    for (const source_distance& from : gateways_of(u))
+      for (u32 s2 = 0; s2 < n_s; ++s2)
+        a[s2] = std::min(a[s2], from.dist + skel[u64{from.source} * n_s + s2]);
+    for (u32 v = 0; v < n; ++v)
+      for (const source_distance& to : gateways_of(v)) {
+        if (a[to.source] == kInfDist) continue;
+        out[v] = std::min(out[v], a[to.source] + to.dist);
+      }
+  }
+}
+
+std::vector<u64> dist_labels::row(u32 u) const {
+  std::vector<u64> out;
+  row_into(u, out);
+  return out;
+}
+
+std::vector<std::vector<u64>> dist_labels::materialize(round_executor& ex) const {
+  std::vector<std::vector<u64>> dist(n);
+  ex.for_nodes(n, [&](u32 u) { row_into(u, dist[u]); });
+  return dist;
+}
+
+std::vector<std::vector<u64>> dist_labels::materialize(sim_options opts) const {
+  round_executor ex(opts);
+  return materialize(ex);
+}
+
+std::vector<std::vector<u32>> dist_labels::materialize_next_hops(
+    const std::vector<std::vector<u64>>& dist, round_executor& ex) const {
+  HYB_REQUIRE(routes, "next-hop tables require labels built with build_routes");
+  HYB_REQUIRE(topo != nullptr, "next-hop tables require the local graph");
+  std::vector<std::vector<u32>> hops(n, std::vector<u32>(n, ~u32{0}));
+  ex.for_nodes(n, [&](u32 u) {
+    hops[u][u] = u;
+    for (const edge& e : topo->neighbors(u)) {
+      const std::vector<u64>& nbr = dist[e.to];
+      for (u32 v = 0; v < n; ++v) {
+        if (v == u || nbr[v] == kInfDist) continue;
+        const u64 through = e.weight + nbr[v];
+        if (through == dist[u][v] &&
+            (hops[u][v] == ~u32{0} || e.to < hops[u][v]))
+          hops[u][v] = e.to;
+      }
+    }
+  });
+  return hops;
+}
+
+// ---- kssp_labels -----------------------------------------------------------
+
+u64 kssp_labels::query(u32 j, u32 v) const {
+  u64 best = ball_lookup(ball.reached(v), sources[j]);
+  const u64 leg = rep_leg[j];
+  const u64* est_row = est.data() + u64{rep_slot[j]} * n_s;
+  for (const source_distance& sd : gateways_of(v)) {
+    const u64 mid = est_row[sd.source];
+    if (mid == kInfDist) continue;
+    best = std::min(best, sd.dist + mid + leg);
+  }
+  return best;
+}
+
+void kssp_labels::row_into(u32 j, std::vector<u64>& out) const {
+  out.resize(n);
+  for (u32 v = 0; v < n; ++v) out[v] = query(j, v);
+}
+
+std::vector<u64> kssp_labels::row(u32 j) const {
+  std::vector<u64> out;
+  row_into(j, out);
+  return out;
+}
+
+std::vector<std::vector<u64>> kssp_labels::materialize(round_executor& ex) const {
+  std::vector<std::vector<u64>> dist(sources.size(), std::vector<u64>(n));
+  for (u32 j = 0; j < sources.size(); ++j)
+    ex.for_nodes(n, [&](u32 v) { dist[j][v] = query(j, v); });
+  return dist;
+}
+
+}  // namespace hybrid

@@ -99,39 +99,37 @@ kssp_result hybrid_kssp(const graph& g, const model_config& cfg, u64 seed,
   // the elapsed runtime cost extra.
   out.exploration_depth = std::max(eta_h, elapsed);
   for (u64 r = elapsed; r < out.exploration_depth; ++r) net.advance_round();
-  // Ball-bounded or dense per sim_options; entries are keyed by source node
-  // id, so map them back to source slots for the assembly below.
-  const sparse_exploration_result explo = run_local_exploration(
+
+  // ---- 5. per-source labels for Equation (1) ------------------------------
+  // Every node now holds its exploration ball (keyed by source node id), its
+  // nearby-skeleton gateways, and the flooded estimate table — the
+  // kssp_labels oracle (core/dist_oracle.hpp), which evaluates Equation (1)
+  // per (source, node) pair on demand instead of eagerly into k n-wide rows.
+  out.labels.ball = run_local_exploration(
       net, static_cast<u32>(out.exploration_depth),
       /*advance_rounds=*/false, &sources, /*first_hops=*/false);
-  std::vector<u32> slot_of_node(n, ~u32{0});
-  for (u32 j = 0; j < sources.size(); ++j) slot_of_node[sources[j]] = j;
-  std::vector<std::vector<u64>> local(sources.size(),
-                                      std::vector<u64>(n, kInfDist));
+  out.labels.n = n;
+  out.labels.n_s = n_s;
+  out.labels.sources = sources;
+  out.labels.rep_slot = rep_slot;
+  out.labels.rep_leg = reps.dist_to_rep;
+  out.labels.est.assign(u64{rep_nodes.size()} * n_s, kInfDist);
+  for (u32 slot = 0; slot < rep_nodes.size(); ++slot)
+    for (u32 s = 0; s < n_s; ++s)
+      out.labels.est[u64{slot} * n_s + s] = est[slot][s];
+  out.labels.gw_offsets.assign(n + 1, 0);
+  for (u32 v = 0; v < n; ++v)
+    out.labels.gw_offsets[v + 1] = out.labels.gw_offsets[v] + sk.near[v].size();
+  out.labels.gateways.resize(out.labels.gw_offsets[n]);
   net.executor().for_nodes(n, [&](u32 v) {
-    for (const exploration_entry& e : explo.reached(v))
-      local[slot_of_node[e.source]][v] = e.dist;
+    std::copy(sk.near[v].begin(), sk.near[v].end(),
+              out.labels.gateways.begin() +
+                  static_cast<std::ptrdiff_t>(out.labels.gw_offsets[v]));
   });
 
-  // ---- 5. assemble Equation (1) -------------------------------------------
-  // Free local computation at every node v; parallel over v (each v writes
-  // only column v of the result).
-  out.dist.assign(sources.size(), std::vector<u64>(n, kInfDist));
-  for (u32 j = 0; j < sources.size(); ++j) {
-    const std::vector<u64>& est_row_of = est[rep_slot[j]];
-    const u64 rep_leg = reps.dist_to_rep[j];
-    net.executor().for_nodes(n, [&](u32 v) {
-      u64 best = local[j][v];
-      for (const source_distance& sd : sk.near[v]) {
-        const u64 mid = est_row_of[sd.source];
-        if (mid == kInfDist) continue;
-        best = std::min(best, sd.dist + mid + rep_leg);
-      }
-      out.dist[j][v] = best;
-    });
-  }
-
   out.metrics = net.snapshot();
+  if (resolve_materialize(opts, n))
+    out.dist = out.labels.materialize(net.executor());
   const double t_b = static_cast<double>(out.metrics.rounds);
   const approx_contract c = alg.contract(max_skel_weight);
   out.bound_weighted = 2.0 * c.alpha + 1.0 + static_cast<double>(c.beta) / t_b;

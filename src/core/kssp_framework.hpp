@@ -21,6 +21,7 @@
 #pragma once
 
 #include "clique/algorithms.hpp"
+#include "core/dist_oracle.hpp"
 #include "graph/graph.hpp"
 #include "sim/hybrid_net.hpp"
 
@@ -28,8 +29,15 @@ namespace hybrid {
 
 struct kssp_result {
   std::vector<u32> sources;
-  std::vector<std::vector<u64>> dist;  ///< dist[j][v] for sources[j]
+  /// The native output: per-source labels answering Equation (1) on demand
+  /// (core/dist_oracle.hpp). Always built.
+  kssp_labels labels;
+  /// Dense adapter dist[j][v] for sources[j], filled when
+  /// resolve_materialize(opts, n) holds (auto = n ≤ 4096).
+  std::vector<std::vector<u64>> dist;
   run_metrics metrics;
+
+  bool materialized() const { return !dist.empty(); }
 
   u32 skeleton_size = 0;
   u32 h = 0;

@@ -9,6 +9,24 @@
 
 namespace hybrid {
 
+u64 diameter_of_rows(
+    u32 n, const std::function<void(u32, std::vector<u64>&)>& fill_row,
+    bool require_connected) {
+  u64 best = 0;
+  std::vector<u64> row;
+  for (u32 u = 0; u < n; ++u) {
+    fill_row(u, row);
+    for (u64 d : row) {
+      if (d >= kInfDist) {
+        HYB_REQUIRE(!require_connected, "diameter requires a connected graph");
+        continue;
+      }
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
 u32 hop_diameter(const graph& g) {
   u32 best = 0;
   for (u32 v = 0; v < g.num_nodes(); ++v) {
@@ -21,14 +39,9 @@ u32 hop_diameter(const graph& g) {
 }
 
 u64 weighted_diameter(const graph& g) {
-  u64 best = 0;
-  for (u32 v = 0; v < g.num_nodes(); ++v) {
-    for (u64 d : dijkstra(g, v)) {
-      HYB_REQUIRE(d != kInfDist, "weighted_diameter requires connectivity");
-      best = std::max(best, d);
-    }
-  }
-  return best;
+  return diameter_of_rows(
+      g.num_nodes(), [&](u32 u, std::vector<u64>& row) { row = dijkstra(g, u); },
+      /*require_connected=*/true);
 }
 
 u32 shortest_path_diameter(const graph& g) {

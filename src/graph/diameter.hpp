@@ -3,16 +3,32 @@
 // The paper's diameter problem targets D(G) = max hop distance (the local
 // graph's unweighted diameter); the weighted-diameter lower bound (Thm 1.6)
 // additionally needs max weighted distance.
+//
+// Every computation here is row-streaming: one distance row lives at a time
+// (O(n) working memory), whether the row comes from a fresh Dijkstra/BFS or
+// from a distance-label oracle (core/dist_oracle.hpp) — `diameter_of_rows`
+// is the shared form both consume.
 #pragma once
+
+#include <functional>
 
 #include "graph/graph.hpp"
 
 namespace hybrid {
 
+/// Max finite distance over the rows `fill_row(u, scratch)` for u in [0, n)
+/// — the streaming diameter form. With `require_connected`, an infinite
+/// entry throws (the classic reference semantics); without it, unreachable
+/// pairs are skipped, so the result is the largest per-component diameter.
+u64 diameter_of_rows(
+    u32 n, const std::function<void(u32, std::vector<u64>&)>& fill_row,
+    bool require_connected = true);
+
 /// D(G): maximum hop distance over all pairs (n BFS runs).
 u32 hop_diameter(const graph& g);
 
-/// Maximum weighted distance over all pairs (n Dijkstra runs).
+/// Maximum weighted distance over all pairs (n Dijkstra runs, streamed
+/// through diameter_of_rows).
 u64 weighted_diameter(const graph& g);
 
 /// Shortest-path diameter: max over pairs of the minimum hop count among

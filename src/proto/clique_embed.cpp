@@ -1,5 +1,7 @@
 #include "proto/clique_embed.hpp"
 
+#include <utility>
+
 #include "proto/dissemination.hpp"
 #include "util/assert.hpp"
 
@@ -46,7 +48,7 @@ void charge_clique_rounds(hybrid_net& net, clique_embedding& emb, u64 t) {
             {nodes[i], nodes[j], idx, (u64{i} << 32) ^ j ^ (r * 0x9e37)});
       }
     }
-    const auto delivered = route_tokens(net, emb.ctx, batch);
+    const auto delivered = route_tokens(net, emb.ctx, std::move(batch));
     u64 count = 0;
     for (const auto& d : delivered) count += d.size();
     HYB_INVARIANT(count == static_cast<u64>(n_s) * n_s,

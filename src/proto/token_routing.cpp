@@ -1,6 +1,7 @@
 #include "proto/token_routing.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <unordered_map>
 
@@ -46,12 +47,51 @@ void take_share(std::vector<helper_task>& all, u32 pos, u32 count,
 
 }  // namespace
 
+namespace {
+
+/// β = 2µ⌈log n⌉: the ruling set's domination-radius guarantee, the only
+/// radius the charged stand-in can budget floods by (the simulated path
+/// floods by the tighter measured max_radius).
+u64 charged_beta(u32 mu, u32 n) { return u64{2} * mu * id_bits(n); }
+
+/// One intra-cluster flood's round budget: 2β+1 reaches the whole cluster.
+u64 charged_flood_budget(u32 mu, u32 n) { return 2 * charged_beta(mu, n) + 1; }
+
+/// Rounds the Algorithm 1 construction for one helper side is budgeted at
+/// (DESIGN.md deviation 9's charged stand-in): the (2µ+1, 2µ⌈log n⌉)-ruling
+/// set, the β-round cluster-assignment flood, and the two intra-cluster
+/// floods of 2β+1 rounds each (member discovery + helper announcement).
+u64 charged_setup_rounds(u32 mu, u32 n) {
+  if (mu <= 1) return 0;
+  return 2 * charged_beta(mu, n) + 2 * charged_flood_budget(mu, n);
+}
+
+}  // namespace
+
 routing_context build_routing_context(hybrid_net& net, routing_spec spec) {
   const u64 start = net.round();
   routing_context ctx;
   ctx.mu_s = helper_mu(spec.k_s, spec.p_s);
   ctx.mu_r = helper_mu(spec.k_r, spec.p_r);
   ctx.spec = std::move(spec);
+  if (net.config().charged_token_routing) {
+    // Charged stand-in (DESIGN.md deviation 9): pay the construction's
+    // round budget and the setup floods' local traffic in closed form; the
+    // helper families stay empty and are never consulted. No hash is drawn
+    // (the stand-in consumes no public randomness).
+    const u32 n = net.n();
+    for (const u32 mu : {ctx.mu_s, ctx.mu_r}) {
+      net.charge_rounds(charged_setup_rounds(mu, n));
+      // The two intra-cluster floods move every node's record through its
+      // cluster: n records for a 2β+1-round budget, twice.
+      if (mu > 1) net.charge_local(2 * u64{n} * charged_flood_budget(mu, n));
+    }
+    // Hash-seed broadcast, charged as one aggregation (Lemma B.2).
+    net.charge_rounds(aggregation_rounds(n));
+    net.charge_global(n, n);
+    ctx.setup_rounds = net.round() - start;
+    return ctx;
+  }
   ctx.sender_helpers = compute_helpers(net, ctx.spec.senders, ctx.mu_s);
   ctx.receiver_helpers = compute_helpers(net, ctx.spec.receivers, ctx.mu_r);
   // Public hash: the O(log² n)-bit seed comes from the shared randomness
@@ -64,13 +104,94 @@ routing_context build_routing_context(hybrid_net& net, routing_spec spec) {
   return ctx;
 }
 
+/// The charged stand-in's delivery: validate exactly as the simulated path
+/// does, hand every token to its receiver slot directly (sorted by
+/// (sender, index) — a canonical order; the simulated path's order is
+/// unspecified), and charge Theorem 2.2's round/message/flood accounting in
+/// closed form.
+static std::vector<std::vector<routed_token>> charged_route_tokens(
+    hybrid_net& net, routing_context& ctx,
+    std::vector<std::vector<routed_token>>& by_sender) {
+  const u32 n = net.n();
+  const routing_spec& spec = ctx.spec;
+  std::vector<u32> receiver_pos(n, ~u32{0});
+  for (u32 i = 0; i < spec.receivers.size(); ++i)
+    receiver_pos[spec.receivers[i]] = i;
+  // The γ-saturated phases before a charged route (dissemination) leave
+  // n·γ-slot arenas behind; nothing global moves while the stand-in runs,
+  // so release them (memory only, they regrow on demand).
+  net.trim_mailboxes();
+  std::vector<std::vector<routed_token>> delivered(spec.receivers.size());
+  // One pass: validate exactly like the simulated path, hand each token to
+  // its receiver slot, release each sender slab as it is absorbed (the
+  // whole point of this path is the n = 10⁵ memory budget).
+  std::vector<u64> routed_to(spec.receivers.size(), 0);
+  u64 total_routed = 0;
+  for (u32 si = 0; si < by_sender.size(); ++si) {
+    HYB_REQUIRE(by_sender[si].size() <= spec.k_s, "sender exceeds k_s tokens");
+    for (const routed_token& t : by_sender[si]) {
+      HYB_REQUIRE(t.sender == spec.senders[si],
+                  "token sender does not match its slot");
+      const u32 ri = receiver_pos[t.receiver];
+      HYB_REQUIRE(ri != ~u32{0}, "token addressed to a non-receiver");
+      // Self tokens are delivered directly and do not count against k_r,
+      // exactly as on the simulated path; the label of a routed token must
+      // be packable exactly as there too.
+      if (t.sender != t.receiver) {
+        (void)pack_label(t.sender, t.receiver, t.index);
+        ++routed_to[ri];
+        ++total_routed;
+      }
+      delivered[ri].push_back(t);
+    }
+    std::vector<routed_token>().swap(by_sender[si]);
+  }
+  for (u32 ri = 0; ri < spec.receivers.size(); ++ri) {
+    HYB_REQUIRE(routed_to[ri] <= spec.k_r, "receiver exceeds k_r tokens");
+    std::sort(delivered[ri].begin(), delivered[ri].end(),
+              [](const routed_token& a, const routed_token& b) {
+                return a.sender != b.sender ? a.sender < b.sender
+                                            : a.index < b.index;
+              });
+  }
+  if (total_routed == 0) return delivered;
+
+  // Rounds: K/(n·γ) pipelined global rounds + the √k terms + the hand-off /
+  // collection floods (budgeted at 2β+1 with β = 2µ⌈log n⌉) + the
+  // completion AND-aggregation. Messages: token + request + answer per
+  // routed token (2 + 1 + 2 payload words), plus one word per node for the
+  // aggregation.
+  const u64 gamma = net.global_cap();
+  u64 rounds = ceil_div(total_routed, u64{n} * gamma);
+  rounds += static_cast<u64>(std::ceil(std::sqrt(static_cast<double>(spec.k_s))));
+  rounds += static_cast<u64>(std::ceil(std::sqrt(static_cast<double>(spec.k_r))));
+  u64 flood_items = 0;
+  if (ctx.mu_s > 1) {
+    const u64 budget = charged_flood_budget(ctx.mu_s, n);
+    rounds += budget;  // sender hand-off flood
+    flood_items += total_routed * budget;
+  }
+  if (ctx.mu_r > 1) {
+    const u64 budget = charged_flood_budget(ctx.mu_r, n);
+    rounds += 2 * budget;  // receiver hand-off + final collection floods
+    flood_items += 2 * total_routed * budget;
+  }
+  rounds += aggregation_rounds(n);
+  net.charge_rounds(rounds);
+  net.charge_local(flood_items);
+  net.charge_global(3 * total_routed + n, 5 * total_routed + n);
+  return delivered;
+}
+
 std::vector<std::vector<routed_token>> route_tokens(
     hybrid_net& net, routing_context& ctx,
-    const std::vector<std::vector<routed_token>>& by_sender) {
+    std::vector<std::vector<routed_token>> by_sender) {
   const u32 n = net.n();
   const routing_spec& spec = ctx.spec;
   HYB_REQUIRE(by_sender.size() == spec.senders.size(),
               "token batch must align with the sender list");
+  if (net.config().charged_token_routing)
+    return charged_route_tokens(net, ctx, by_sender);
 
   std::vector<u32> receiver_pos(n, ~u32{0});
   for (u32 i = 0; i < spec.receivers.size(); ++i)
@@ -101,6 +222,9 @@ std::vector<std::vector<routed_token>> route_tokens(
       receiver_labels[ri].push_back({lbl, 0});
       ++total_routed;
     }
+    // The batch slab is fully absorbed; release it before the next grows
+    // the helper-side structures (memory only — nothing observable).
+    std::vector<routed_token>().swap(by_sender[si]);
   }
   for (u32 ri = 0; ri < spec.receivers.size(); ++ri)
     HYB_REQUIRE(receiver_labels[ri].size() <= spec.k_r,
@@ -125,8 +249,10 @@ std::vector<std::vector<routed_token>> route_tokens(
                         std::vector<std::vector<helper_task>>& tasks,
                         std::vector<std::vector<helper_task>>& dest) {
     if (fam.trivial()) {
-      for (u32 i = 0; i < owners.size(); ++i)
+      for (u32 i = 0; i < owners.size(); ++i) {
         for (const helper_task& t : tasks[i]) dest[owners[i]].push_back(t);
+        std::vector<helper_task>().swap(tasks[i]);  // handed over; release
+      }
       return;
     }
     const u32 flood_rounds = fam.clusters.flood_budget();
@@ -139,6 +265,7 @@ std::vector<std::vector<routed_token>> route_tokens(
         take_share(tasks[i], pos, static_cast<u32>(helpers.size()), mine);
         for (const helper_task& t : mine) dest[helpers[pos]].push_back(t);
       }
+      std::vector<helper_task>().swap(tasks[i]);  // handed over; release
     }
     net.charge_local(token_count * flood_rounds);
     for (u32 r = 0; r < flood_rounds; ++r) net.advance_round();
@@ -203,11 +330,21 @@ std::vector<std::vector<routed_token>> route_tokens(
         net.try_send_global(global_msg::make(
             v, intermediate_of(t.label), kTokenTag, {t.label, t.payload}));
       }
+      // v-private release of a drained queue (an empty vector satisfies the
+      // cursor checks above and in phase_done, so this is memory only).
+      if (!send_tasks[v].empty() && send_cursor[v] == send_tasks[v].size()) {
+        std::vector<helper_task>().swap(send_tasks[v]);
+        send_cursor[v] = 0;
+      }
       // Receiver-helper role: request labels.
       while (req_cursor[v] < want[v].size() && net.global_budget(v) > 0) {
         const u64 lbl = want[v][req_cursor[v]++].label;
         net.try_send_global(
             global_msg::make(v, intermediate_of(lbl), kRequestTag, {lbl}));
+      }
+      if (!want[v].empty() && req_cursor[v] == want[v].size()) {
+        std::vector<helper_task>().swap(want[v]);
+        req_cursor[v] = 0;
       }
     });
     net.advance_round();
@@ -265,6 +402,7 @@ std::vector<std::vector<routed_token>> route_tokens(
         delivered[ri].push_back({label_s(t.label), label_r(t.label),
                                  label_i(t.label), t.payload});
       }
+      std::vector<helper_task>().swap(fetched[v]);  // handed over; release
     }
     net.charge_local(token_count * flood_rounds);
     for (u32 r = 0; r < flood_rounds; ++r) net.advance_round();
@@ -274,9 +412,9 @@ std::vector<std::vector<routed_token>> route_tokens(
 
 std::vector<std::vector<routed_token>> run_token_routing(
     hybrid_net& net, routing_spec spec,
-    const std::vector<std::vector<routed_token>>& by_sender) {
+    std::vector<std::vector<routed_token>> by_sender) {
   routing_context ctx = build_routing_context(net, std::move(spec));
-  return route_tokens(net, ctx, by_sender);
+  return route_tokens(net, ctx, std::move(by_sender));
 }
 
 }  // namespace hybrid

@@ -46,6 +46,14 @@ namespace hybrid {
 /// path stays selectable for small n and for differential testing.
 enum class exploration_path : u8 { kAuto = 0, kDense, kSparse };
 
+/// Result-storage mode for the oracle-producing cores (core/dist_oracle.hpp):
+/// `kDense` additionally materializes the n×n result matrices from the
+/// distance labels (the pre-PR-5 output format), `kLabels` keeps only the
+/// queryable per-node labels — O(Σ|label(v)|) memory instead of O(n²).
+/// `kAuto` materializes up to kDenseExplorationMaxNodes nodes; beyond that
+/// the matrices are exactly the memory wall the labels exist to remove.
+enum class result_storage : u8 { kAuto = 0, kDense, kLabels };
+
 struct sim_options {
   /// Worker threads for node-parallel round steps. 0 = auto: the
   /// HYBRID_THREADS environment variable when set to a positive integer,
@@ -54,10 +62,13 @@ struct sim_options {
   /// Local-exploration implementation; kAuto picks kDense up to
   /// kDenseExplorationMaxNodes nodes and kSparse beyond.
   exploration_path exploration = exploration_path::kAuto;
+  /// Whether APSP/k-SSP results carry dense matrices besides their labels.
+  result_storage storage = result_storage::kAuto;
 };
 
 /// Largest n for which exploration_path::kAuto stays on the dense path
-/// (above it the n² matrices dominate memory and sparse wins).
+/// (above it the n² matrices dominate memory and sparse wins); also the
+/// result_storage::kAuto materialization cutoff.
 inline constexpr u32 kDenseExplorationMaxNodes = 4096;
 
 /// The exploration path `sim_options` resolves to for an n-node network.
@@ -65,6 +76,13 @@ inline exploration_path resolve_exploration(const sim_options& opts, u32 n) {
   if (opts.exploration != exploration_path::kAuto) return opts.exploration;
   return n <= kDenseExplorationMaxNodes ? exploration_path::kDense
                                         : exploration_path::kSparse;
+}
+
+/// Whether `sim_options` asks for dense result matrices at this n.
+inline bool resolve_materialize(const sim_options& opts, u32 n) {
+  if (opts.storage != result_storage::kAuto)
+    return opts.storage == result_storage::kDense;
+  return n <= kDenseExplorationMaxNodes;
 }
 
 /// The thread count `sim_options` resolves to (see above). Never 0.

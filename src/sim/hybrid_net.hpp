@@ -49,6 +49,15 @@ struct model_config {
   /// Copies of each token seeded to random nodes before gossip in the token
   /// dissemination protocol (Θ(log n) in the analysis).
   double dissemination_seed_mult = 1.0;
+  /// Charged stand-in for token routing's helper machinery (DESIGN.md §4,
+  /// deviation 9): route_tokens charges the Theorem 2.2 / Algorithm 1
+  /// round, message, and flood budgets in closed form and delivers tokens
+  /// directly, skipping the Θ(Σ|cluster|²)-memory ruling-set/cluster
+  /// simulation. Default off — everything stays message-level simulated.
+  /// Needed for the n ≈ 10⁵ label-oracle workloads (bench_apsp E2e), where
+  /// µ ≈ √n exceeds the graph diameter and the exact simulation of "every
+  /// node learns its whole cluster" is Θ(n²) memory.
+  bool charged_token_routing = false;
   /// Optional node bipartition for Section-7-style cut accounting; when its
   /// size equals n it is registered at network construction, so the full
   /// algorithms (which build their own nets) can be instrumented.
@@ -112,10 +121,27 @@ class hybrid_net {
   /// Mailbox arena occupancy/allocation probe (tests assert arenas stop
   /// growing after warm-up).
   mailbox_stats global_mailbox_stats() const { return mail_.stats(); }
+  /// Release the mailbox high-water arenas (memory only, they regrow on
+  /// demand; sim/mailbox.hpp trim()). Used by the large-n label pipelines
+  /// before long global-silent stretches. Orchestrating thread only.
+  void trim_mailboxes() { mail_.trim(); }
 
   // ---- LOCAL mode accounting -------------------------------------------
   /// Charge `items` O(log n)-bit records crossing local edges this round.
   void charge_local(u64 items) { metrics_.local_items += items; }
+
+  // ---- charged stand-ins (DESIGN.md §4) ----------------------------------
+  /// Account `rounds` silent rounds without simulating them (no delivery,
+  /// no budget reset — callers must have no queued sends). Used by charged
+  /// stand-ins whose round cost is a documented closed form
+  /// (model_config{charged_token_routing}); orchestrating thread only.
+  void charge_rounds(u64 rounds) { metrics_.rounds += rounds; }
+  /// Account global messages/payload words a charged stand-in would have
+  /// sent (receive-load tracking is not modeled for stand-ins).
+  void charge_global(u64 messages, u64 payload_words) {
+    metrics_.global_messages += messages;
+    metrics_.global_payload_words += payload_words;
+  }
 
   // ---- randomness --------------------------------------------------------
   /// Node v's persistent private stream, derived from (seed, v). Node-

@@ -206,6 +206,26 @@ class flat_mailbox {
             delivered_total_};
   }
 
+  /// Release the high-water arenas back to their construction size (memory
+  /// only — no observable change; they regrow on demand). For long idle
+  /// stretches at large n, e.g. after a γ-saturated phase whose arenas
+  /// (n·γ slots both sides) would otherwise sit on hundreds of MB while a
+  /// charged stand-in or LOCAL-only phase runs. Orchestrating thread only,
+  /// between rounds (nothing queued, previous inboxes no longer read).
+  void trim() {
+    HYB_INVARIANT(std::all_of(out_count_.begin(), out_count_.end(),
+                              [](u32 c) { return c == 0; }),
+                  "trim with queued sends");
+    stride_ = 1;
+    std::vector<Msg>(static_cast<std::size_t>(n_)).swap(out_arena_);
+    std::vector<Msg>().swap(in_arena_);
+    std::vector<u32>().swap(counts_);
+    std::fill(in_begin_.begin(), in_begin_.end(), 0);
+    for (auto& spill : overflow_) std::vector<Msg>().swap(spill);
+    delivered_last_ = 0;
+    ++grow_events_;
+  }
+
  private:
   /// Visit src's queued messages in send order (slab, then overflow).
   template <class F>

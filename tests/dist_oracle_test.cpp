@@ -1,0 +1,324 @@
+// Differential suite for the distance-label oracle (core/dist_oracle.hpp):
+// on randomized ER / grid / star / bounded-degree / disconnected graphs,
+// query(u, v) and next_hop(u, v) must be bit-identical to the materialized
+// dense matrices and to centralized Dijkstra ground truth, at threads
+// ∈ {1, 2, 8} and on both exploration paths; plus the h = 0 /
+// isolated-vertex / singleton-component / unreachable-pair (∞) edge cases,
+// the baseline's two-sided labels, the k-SSP labels, and the diameter
+// label path (exact + the (1+ε̂) skeleton estimate). Runs in the TSAN CI
+// job at 8 threads; `ctest -L oracle` runs it standalone.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/apsp.hpp"
+#include "core/apsp_baseline.hpp"
+#include "core/diameter.hpp"
+#include "core/kssp_framework.hpp"
+#include "core/sssp.hpp"
+#include "graph/diameter.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace hybrid {
+namespace {
+
+model_config cfg() { return model_config{}; }
+
+sim_options opts(u32 threads, exploration_path explo, result_storage storage) {
+  sim_options o;
+  o.threads = threads;
+  o.exploration = explo;
+  o.storage = storage;
+  return o;
+}
+
+void expect_metrics_eq(const run_metrics& a, const run_metrics& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.local_items, b.local_items);
+  EXPECT_EQ(a.global_messages, b.global_messages);
+  EXPECT_EQ(a.global_payload_words, b.global_payload_words);
+  EXPECT_EQ(a.max_global_recv_per_round, b.max_global_recv_per_round);
+}
+
+/// Dense reference at one thread vs label-only runs at threads {1, 2, 8} on
+/// both exploration paths: per-pair query/next_hop identity, materialize()
+/// identity, metric identity, and Dijkstra ground truth.
+void apsp_differential(const graph& g, u64 seed) {
+  const u32 n = g.num_nodes();
+  const apsp_result ref = hybrid_apsp_exact(
+      g, cfg(), seed, /*build_routes=*/true,
+      opts(1, exploration_path::kDense, result_storage::kDense));
+  ASSERT_EQ(ref.dist.size(), n);
+  const auto truth = apsp_reference(g);
+  for (u32 u = 0; u < n; ++u) ASSERT_EQ(ref.dist[u], truth[u]) << "row " << u;
+
+  for (u32 threads : {1u, 2u, 8u})
+    for (exploration_path explo :
+         {exploration_path::kDense, exploration_path::kSparse}) {
+      const apsp_result lab = hybrid_apsp_exact(
+          g, cfg(), seed, /*build_routes=*/true,
+          opts(threads, explo, result_storage::kLabels));
+      ASSERT_TRUE(!lab.materialized());
+      ASSERT_TRUE(lab.labels.routes);
+      expect_metrics_eq(lab.metrics, ref.metrics);
+      for (u32 u = 0; u < n; ++u)
+        for (u32 v = 0; v < n; ++v) {
+          ASSERT_EQ(lab.labels.query(u, v), ref.dist[u][v])
+              << u << "->" << v << " threads=" << threads;
+          ASSERT_EQ(lab.labels.next_hop(u, v), ref.next_hop[u][v])
+              << u << "->" << v << " threads=" << threads;
+        }
+      // The dense adapters reproduce the matrices bit for bit.
+      round_executor ex(opts(threads, explo, result_storage::kLabels));
+      const auto dist = lab.labels.materialize(ex);
+      ASSERT_EQ(dist, ref.dist);
+      ASSERT_EQ(lab.labels.materialize_next_hops(dist, ex), ref.next_hop);
+    }
+}
+
+// ---- randomized differential runs ------------------------------------------
+
+TEST(DistOracleDiff, ErdosRenyiRandomized) {
+  for (u64 seed : {51u, 52u, 53u}) {
+    rng r(seed);
+    const u32 n = 48 + static_cast<u32>(r.next_below(72));
+    const double deg = 3.5 + r.next_double() * 2.5;
+    const u64 max_w = r.next_bool(0.5) ? 1 : 9;
+    apsp_differential(gen::erdos_renyi_connected(n, deg, max_w, seed), seed);
+  }
+}
+
+TEST(DistOracleDiff, Grid) { apsp_differential(gen::grid(9, 9, 6, 23), 23); }
+
+TEST(DistOracleDiff, Star) {
+  // balanced_tree with arity n-1 is a star: every leaf routes through the
+  // hub, so gateway composition and next-hop tie-breaks get a dense workout.
+  apsp_differential(gen::balanced_tree(40, 39, 4, 7), 7);
+}
+
+TEST(DistOracleDiff, BoundedDegree) {
+  apsp_differential(gen::bounded_degree(72, 3, 5, 11), 11);
+}
+
+TEST(DistOracleDiff, DisconnectedWithIsolatedVertices) {
+  // Two components (path, triangle) plus two isolated vertices: queries
+  // across components must return kInfDist exactly where Dijkstra does, and
+  // next_hop must stay ~0 there.
+  std::vector<edge_spec> edges{{0, 1, 2}, {1, 2, 1}, {2, 3, 3},
+                               {4, 5, 1}, {5, 6, 2}, {4, 6, 2}};
+  const graph g = graph::from_edges(9, edges);
+  apsp_differential(g, 3);
+  const apsp_result lab = hybrid_apsp_exact(
+      g, cfg(), 3, true, opts(1, exploration_path::kSparse, result_storage::kLabels));
+  for (u32 v : {7u, 8u}) {
+    EXPECT_EQ(lab.labels.query(v, v), 0u);       // singleton component
+    EXPECT_EQ(lab.labels.next_hop(v, v), v);
+    EXPECT_EQ(lab.labels.query(v, 0), kInfDist);  // unreachable pair
+    EXPECT_EQ(lab.labels.next_hop(v, 0), ~u32{0});
+    EXPECT_EQ(lab.labels.query(0, v), kInfDist);
+  }
+  EXPECT_EQ(lab.labels.query(0, 5), kInfDist);  // across the two components
+}
+
+// ---- edge cases -------------------------------------------------------------
+
+TEST(DistOracleEdge, HZeroBallOnlyLabels) {
+  // h = 0 labels built directly: every ball is the node itself, no
+  // gateways, empty skeleton table — query must fall through the (absent)
+  // skeleton part and report self-distance 0 / kInfDist elsewhere.
+  dist_labels lab;
+  lab.n = 3;
+  lab.n_s = 0;
+  lab.h = 0;
+  lab.ball.offsets = {0, 1, 2, 3};
+  lab.ball.entries = {{0, 0, 0}, {0, 1, 1}, {0, 2, 2}};
+  lab.gw_offsets = {0, 0, 0, 0};
+  for (u32 u = 0; u < 3; ++u)
+    for (u32 v = 0; v < 3; ++v)
+      EXPECT_EQ(lab.query(u, v), u == v ? 0 : kInfDist) << u << "->" << v;
+  EXPECT_EQ(lab.row(1), (std::vector<u64>{kInfDist, 0, kInfDist}));
+}
+
+TEST(DistOracleEdge, BallOnlyTwoSidedLabels) {
+  // The two-sided scheme with no gateways likewise degenerates to the ball.
+  dist_labels lab;
+  lab.n = 2;
+  lab.n_s = 1;
+  lab.scheme = label_scheme::kSkeletonPairs;
+  lab.ball.offsets = {0, 1, 2};
+  lab.ball.entries = {{0, 0, 0}, {0, 1, 1}};
+  lab.gw_offsets = {0, 0, 0};
+  lab.skel = {0};
+  EXPECT_EQ(lab.query(0, 1), kInfDist);
+  EXPECT_EQ(lab.query(1, 1), 0u);
+}
+
+TEST(DistOracleEdge, NextHopRequiresRoutes) {
+  const graph g = gen::path(32, 3, 5);
+  const apsp_result lab = hybrid_apsp_exact(
+      g, cfg(), 5, /*build_routes=*/false,
+      opts(1, exploration_path::kAuto, result_storage::kLabels));
+  EXPECT_FALSE(lab.labels.routes);
+  EXPECT_EQ(lab.labels.query(0, 31), dijkstra(g, 0)[31]);
+  EXPECT_THROW(lab.labels.next_hop(0, 31), std::invalid_argument);
+}
+
+TEST(DistOracleEdge, StorageResolution) {
+  const graph g = gen::erdos_renyi_connected(64, 4.0, 5, 9);
+  // kAuto materializes below the cutoff; kLabels never does; the dense
+  // matrices agree with the labels in either mode.
+  const apsp_result dense = hybrid_apsp_exact(g, cfg(), 9);
+  ASSERT_TRUE(dense.materialized());
+  const apsp_result label_only = hybrid_apsp_exact(
+      g, cfg(), 9, false, opts(0, exploration_path::kAuto, result_storage::kLabels));
+  EXPECT_FALSE(label_only.materialized());
+  EXPECT_TRUE(label_only.dist.empty() && label_only.next_hop.empty());
+  for (u32 u = 0; u < 64; ++u)
+    ASSERT_EQ(label_only.labels.row(u), dense.dist[u]) << "row " << u;
+  // The standalone materialize(sim_options) overload works without a net.
+  ASSERT_EQ(label_only.labels.materialize(), dense.dist);
+}
+
+// ---- the baseline's two-sided labels ----------------------------------------
+
+TEST(DistOracleBaseline, QueryMatchesDenseAndDijkstra) {
+  const graph g = gen::erdos_renyi_connected(96, 4.5, 7, 31);
+  const apsp_baseline_result ref = baseline_apsp_ahkss(
+      g, cfg(), 31, opts(1, exploration_path::kDense, result_storage::kDense));
+  const auto truth = apsp_reference(g);
+  for (u32 u = 0; u < 96; ++u) ASSERT_EQ(ref.dist[u], truth[u]);
+  for (u32 threads : {1u, 8u}) {
+    const apsp_baseline_result lab = baseline_apsp_ahkss(
+        g, cfg(), 31, opts(threads, exploration_path::kSparse, result_storage::kLabels));
+    EXPECT_FALSE(lab.materialized());
+    EXPECT_EQ(lab.labels.scheme, label_scheme::kSkeletonPairs);
+    expect_metrics_eq(lab.metrics, ref.metrics);
+    for (u32 u = 0; u < 96; ++u)
+      for (u32 v = 0; v < 96; ++v)
+        ASSERT_EQ(lab.labels.query(u, v), ref.dist[u][v]) << u << "->" << v;
+    round_executor ex(opts(threads, exploration_path::kAuto, result_storage::kAuto));
+    ASSERT_EQ(lab.labels.materialize(ex), ref.dist);
+  }
+}
+
+TEST(DistOracleBaseline, DisconnectedTwoSided) {
+  std::vector<edge_spec> edges{{0, 1, 1}, {1, 2, 2}, {3, 4, 1}};
+  const graph g = graph::from_edges(6, edges);
+  const apsp_baseline_result ref = baseline_apsp_ahkss(
+      g, cfg(), 5, opts(1, exploration_path::kDense, result_storage::kDense));
+  const apsp_baseline_result lab = baseline_apsp_ahkss(
+      g, cfg(), 5, opts(1, exploration_path::kSparse, result_storage::kLabels));
+  const auto truth = apsp_reference(g);
+  for (u32 u = 0; u < 6; ++u)
+    for (u32 v = 0; v < 6; ++v) {
+      ASSERT_EQ(ref.dist[u][v], truth[u][v]);
+      ASSERT_EQ(lab.labels.query(u, v), truth[u][v]) << u << "->" << v;
+    }
+}
+
+// ---- k-SSP labels -----------------------------------------------------------
+
+TEST(DistOracleKssp, QueryMatchesDenseRows) {
+  const graph g = gen::erdos_renyi_connected(96, 4.0, 5, 7);
+  const auto alg = make_clique_kssp_1eps(0.25, injection::none);
+  const std::vector<u32> sources{4, 31, 77};
+  const kssp_result ref = hybrid_kssp(
+      g, cfg(), 7, sources, alg, false,
+      opts(1, exploration_path::kDense, result_storage::kDense));
+  ASSERT_TRUE(ref.materialized());
+  for (u32 threads : {1u, 8u}) {
+    const kssp_result lab = hybrid_kssp(
+        g, cfg(), 7, sources, alg, false,
+        opts(threads, exploration_path::kSparse, result_storage::kLabels));
+    EXPECT_FALSE(lab.materialized());
+    expect_metrics_eq(lab.metrics, ref.metrics);
+    for (u32 j = 0; j < sources.size(); ++j) {
+      ASSERT_EQ(lab.labels.row(j), ref.dist[j]) << "source " << j;
+      for (u32 v = 0; v < 96; ++v)
+        ASSERT_EQ(lab.labels.query(j, v), ref.dist[j][v]);
+    }
+    round_executor ex(opts(threads, exploration_path::kAuto, result_storage::kAuto));
+    ASSERT_EQ(lab.labels.materialize(ex), ref.dist);
+  }
+}
+
+TEST(DistOracleKssp, SsspRowIdenticalAcrossStorageModes) {
+  const graph g = gen::grid(12, 12, 6, 13);
+  const sssp_result dense = hybrid_sssp_exact(
+      g, cfg(), 13, 5, opts(1, exploration_path::kAuto, result_storage::kDense));
+  const sssp_result lab = hybrid_sssp_exact(
+      g, cfg(), 13, 5, opts(1, exploration_path::kAuto, result_storage::kLabels));
+  EXPECT_EQ(lab.dist, dense.dist);
+  EXPECT_EQ(lab.dist, dijkstra(g, 5));
+}
+
+// ---- the charged-routing stand-in preserves results -------------------------
+
+TEST(DistOracleCharged, ChargedRoutingPreservesDistances) {
+  // model_config{charged_token_routing} (DESIGN.md deviation 9) replaces
+  // the helper-machinery simulation with closed-form charging — the switch
+  // the n = 10⁵ bench scenarios flip. Distances must be untouched.
+  const graph g = gen::erdos_renyi_connected(96, 4.0, 6, 19);
+  model_config charged = cfg();
+  charged.charged_token_routing = true;
+  const apsp_result lab = hybrid_apsp_exact(
+      g, charged, 19, false,
+      opts(1, exploration_path::kAuto, result_storage::kLabels));
+  const auto truth = apsp_reference(g);
+  for (u32 u = 0; u < 96; ++u)
+    for (u32 v = 0; v < 96; ++v)
+      ASSERT_EQ(lab.labels.query(u, v), truth[u][v]) << u << "->" << v;
+  EXPECT_GT(lab.metrics.rounds, 0u);
+}
+
+// ---- diameter through the label path ----------------------------------------
+
+TEST(DistOracleDiameter, ExactMatchesCentralizedReference) {
+  for (u64 seed : {3u, 4u}) {
+    const graph g = gen::erdos_renyi_connected(96, 4.5, 7, seed);
+    const apsp_result lab = hybrid_apsp_exact(
+        g, cfg(), seed, false,
+        opts(1, exploration_path::kAuto, result_storage::kLabels));
+    EXPECT_EQ(labels_exact_diameter(lab.labels), weighted_diameter(g));
+  }
+  const graph grid = gen::grid(8, 8, 5, 21);
+  const apsp_result lab = hybrid_apsp_exact(grid, cfg(), 21);
+  EXPECT_EQ(labels_exact_diameter(lab.labels), weighted_diameter(grid));
+}
+
+TEST(DistOracleDiameter, ExactSkipsUnreachablePairsWhenAsked) {
+  std::vector<edge_spec> edges{{0, 1, 3}, {1, 2, 4}, {3, 4, 2}};
+  const graph g = graph::from_edges(5, edges);
+  const apsp_result lab = hybrid_apsp_exact(
+      g, cfg(), 9, false, opts(1, exploration_path::kAuto, result_storage::kLabels));
+  EXPECT_THROW(labels_exact_diameter(lab.labels), std::invalid_argument);
+  EXPECT_EQ(labels_exact_diameter(lab.labels, /*require_connected=*/false), 7u);
+}
+
+TEST(DistOracleDiameter, EstimateWithinBoundOn50SeededGraphs) {
+  // The (1 + ε̂) skeleton estimate: D ≤ estimate ≤ bound·D on connected
+  // random graphs (full gateway coverage at default parameters), with
+  // ε̂ = L/M measured from the labels themselves.
+  for (u64 seed = 1; seed <= 50; ++seed) {
+    rng r(1000 + seed);
+    const u32 n = 40 + static_cast<u32>(r.next_below(80));
+    const double deg = 3.0 + r.next_double() * 3.0;
+    const u64 max_w = r.next_bool(0.5) ? 1 : 8;
+    const graph g = gen::erdos_renyi_connected(n, deg, max_w, seed);
+    const apsp_result lab = hybrid_apsp_exact(
+        g, cfg(), seed, false,
+        opts(1, exploration_path::kAuto, result_storage::kLabels));
+    const label_diameter_estimate est = diameter_estimate_from_labels(lab.labels);
+    ASSERT_EQ(est.covered, n) << "seed " << seed;
+    const u64 d_true = weighted_diameter(g);
+    ASSERT_GE(est.estimate, d_true) << "seed " << seed;
+    ASSERT_LE(static_cast<double>(est.estimate),
+              est.bound * static_cast<double>(d_true) + 1e-9)
+        << "seed " << seed << " bound " << est.bound;
+    ASSERT_LE(est.skeleton_max, d_true) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace hybrid

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "graph/generators.hpp"
 #include "graph/shortest_paths.hpp"
@@ -296,6 +297,82 @@ TEST(TokenRouting, RoundsScaleWithLoadNotTokens) {
     r4 = net.round();
   }
   EXPECT_LT(r4, 3 * r1) << "4x tokens must cost far less than 4x rounds";
+}
+
+// ---- charged stand-in (DESIGN.md deviation 9) -------------------------------
+
+TEST(ChargedTokenRouting, DeliversIdenticalContentToSimulatedPath) {
+  // The stand-in changes accounting, never results: per receiver, the same
+  // token multiset arrives (the simulated path's order is unspecified, so
+  // compare sorted).
+  for (u64 seed : {11u, 12u}) {
+    routing_fixture f = make_fixture(192, 1.0, 1.0 / 12, 1, seed);
+    std::vector<std::vector<routed_token>> simulated, charged;
+    {
+      hybrid_net net(f.g, cfg(), seed);
+      simulated = run_token_routing(net, f.spec, f.batch);
+    }
+    model_config c = cfg();
+    c.charged_token_routing = true;
+    hybrid_net net(f.g, c, seed);
+    charged = run_token_routing(net, f.spec, f.batch);
+    EXPECT_GT(net.round(), 0u);
+    EXPECT_GT(net.raw_metrics().global_messages, 0u);
+    ASSERT_EQ(charged.size(), simulated.size());
+    auto key = [](const routed_token& a, const routed_token& b) {
+      return std::tie(a.sender, a.receiver, a.index, a.payload) <
+             std::tie(b.sender, b.receiver, b.index, b.payload);
+    };
+    for (u32 ri = 0; ri < charged.size(); ++ri) {
+      auto want = simulated[ri];
+      std::sort(want.begin(), want.end(), key);
+      ASSERT_EQ(charged[ri].size(), want.size()) << "receiver " << ri;
+      for (u32 k = 0; k < want.size(); ++k) {
+        EXPECT_EQ(charged[ri][k].sender, want[k].sender);
+        EXPECT_EQ(charged[ri][k].payload, want[k].payload);
+      }
+    }
+  }
+}
+
+TEST(ChargedTokenRouting, ValidatesLikeSimulatedPath) {
+  const graph g = gen::path(16);
+  model_config c = cfg();
+  c.charged_token_routing = true;
+  routing_spec spec;
+  spec.senders = {1};
+  spec.receivers = {2};
+  spec.k_s = 1;
+  spec.k_r = 1;
+  {
+    std::vector<std::vector<routed_token>> batch(1);
+    batch[0].push_back({3, 2, 0, 1});  // sender mismatch
+    hybrid_net net(g, c, 1);
+    EXPECT_THROW(run_token_routing(net, spec, batch), std::invalid_argument);
+  }
+  {
+    std::vector<std::vector<routed_token>> batch(1);
+    batch[0].push_back({1, 7, 0, 1});  // 7 is not a receiver
+    hybrid_net net(g, c, 1);
+    EXPECT_THROW(run_token_routing(net, spec, batch), std::invalid_argument);
+  }
+}
+
+TEST(ChargedTokenRouting, ChargesDeterministically) {
+  // Same inputs → identical charged rounds/messages (the closed form is a
+  // pure function of (n, γ, µ, K)); a second identical run must agree.
+  routing_fixture f = make_fixture(160, 1.0, 1.0 / 10, 1, 7);
+  model_config c = cfg();
+  c.charged_token_routing = true;
+  u64 rounds[2], msgs[2];
+  for (int i = 0; i < 2; ++i) {
+    hybrid_net net(f.g, c, 7);
+    run_token_routing(net, f.spec, f.batch);
+    rounds[i] = net.round();
+    msgs[i] = net.raw_metrics().global_messages;
+  }
+  EXPECT_EQ(rounds[0], rounds[1]);
+  EXPECT_EQ(msgs[0], msgs[1]);
 }
 
 }  // namespace
