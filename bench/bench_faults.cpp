@@ -1,0 +1,193 @@
+// Fault-degradation curves (sim/fault.hpp, docs/FAULTS.md): how the
+// self-healing protocols degrade as the seeded drop probability rises,
+// p ∈ {0, 0.05, 0.1, 0.3} — round overshoot, dropped traffic, and
+// protocol-level retransmissions for the healed local flood
+// (limited_bellman_ford under local-plane drops), token dissemination and
+// token routing (both under global-plane drops). Every quantity except
+// wall time is deterministic per (seed, fault_seed), so the curves are
+// gated against bench/baseline/BENCH_faults.json like the other
+// deterministic trajectories. A protocol that aborts (fault_failure)
+// records success = 0 — the curve stays honest instead of silently
+// dropping the row. Usage:
+//
+//   bench_faults [--json <path>]
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "proto/dissemination.hpp"
+#include "proto/flood.hpp"
+#include "proto/token_routing.hpp"
+#include "sim/hybrid_net.hpp"
+#include "util/bench_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hybrid;
+
+constexpr double kProbabilities[] = {0.0, 0.05, 0.1, 0.3};
+constexpr u32 kReps = 3;
+
+double best_ms(const std::function<void()>& body) {
+  double best = 0;
+  for (u32 i = 0; i < kReps; ++i) {
+    const double ms = timed_ms(body);
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+sim_options faulty_local(double p) {
+  sim_options opts;
+  opts.faults.drop_local = p;
+  opts.faults.fault_seed = 17;
+  return opts;
+}
+
+sim_options faulty_global(double p) {
+  sim_options opts;
+  opts.faults.drop_global = p;
+  opts.faults.fault_seed = 17;
+  return opts;
+}
+
+void bench_flood(bench_recorder& rec) {
+  const u32 n = 256;
+  const graph g = gen::erdos_renyi_connected(n, 4.0, 8, 7);
+  const std::vector<u32> sources = {0, 63, 127, 191};
+  const u32 h = 24;
+  print_section("Healed local flood (limited_bellman_ford) — local drops");
+  table t({"p", "sim rounds", "extra rounds", "local dropped", "success",
+           "wall ms"});
+  for (const double p : kProbabilities) {
+    u64 rounds = 0, extra = 0, dropped = 0;
+    u32 success = 1;
+    const double ms = best_ms([&] {
+      hybrid_net net(g, model_config{}, 5, faulty_local(p));
+      try {
+        limited_bellman_ford(net, sources, h);
+      } catch (const fault_failure&) {
+        success = 0;
+      }
+      rounds = net.round();
+      extra = net.raw_metrics().extra_rounds;
+      dropped = net.raw_metrics().local_dropped;
+    });
+    t.add_row({table::num(p, 2),
+               table::integer(static_cast<long long>(rounds)),
+               table::integer(static_cast<long long>(extra)),
+               table::integer(static_cast<long long>(dropped)),
+               table::integer(success), table::num(ms, 2)});
+    rec.add("flood_degradation", {{"p_x100", p * 100},
+                                  {"n", n},
+                                  {"sim_rounds", rounds},
+                                  {"extra_rounds", extra},
+                                  {"local_dropped", dropped},
+                                  {"success", success},
+                                  {"wall_ms", ms}});
+  }
+  t.print();
+  std::cout << "\n";
+}
+
+void bench_dissemination(bench_recorder& rec) {
+  const u32 n = 256;
+  const graph g = gen::erdos_renyi_connected(n, 4.0, 1, 9);
+  print_section("Token dissemination (Lemma B.1) — global drops");
+  table t({"p", "sim rounds", "extra rounds", "dropped", "success",
+           "wall ms"});
+  for (const double p : kProbabilities) {
+    u64 rounds = 0, extra = 0, dropped = 0;
+    u32 success = 1;
+    const double ms = best_ms([&] {
+      hybrid_net net(g, model_config{}, 5, faulty_global(p));
+      std::vector<std::vector<token2>> initial(n);
+      for (u32 v = 0; v < n; v += 4) initial[v].push_back({v, u64{v} * 3});
+      try {
+        disseminate(net, std::move(initial));
+      } catch (const fault_failure&) {
+        success = 0;
+      }
+      rounds = net.round();
+      extra = net.raw_metrics().extra_rounds;
+      dropped = net.raw_metrics().global_dropped;
+    });
+    t.add_row({table::num(p, 2),
+               table::integer(static_cast<long long>(rounds)),
+               table::integer(static_cast<long long>(extra)),
+               table::integer(static_cast<long long>(dropped)),
+               table::integer(success), table::num(ms, 2)});
+    rec.add("dissemination_degradation", {{"p_x100", p * 100},
+                                          {"n", n},
+                                          {"sim_rounds", rounds},
+                                          {"extra_rounds", extra},
+                                          {"global_dropped", dropped},
+                                          {"success", success},
+                                          {"wall_ms", ms}});
+  }
+  t.print();
+  std::cout << "\n";
+}
+
+void bench_token_routing(bench_recorder& rec) {
+  const u32 n = 256;
+  const graph g = gen::erdos_renyi_connected(n, 4.0, 1, 11);
+  print_section("Token routing (Theorem 2.2) — global drops");
+  table t({"p", "sim rounds", "retransmitted", "dropped", "success",
+           "wall ms"});
+  for (const double p : kProbabilities) {
+    u64 rounds = 0, retx = 0, dropped = 0;
+    u32 success = 1;
+    const double ms = best_ms([&] {
+      hybrid_net net(g, model_config{}, 5, faulty_global(p));
+      routing_spec spec;
+      for (u32 v = 0; v < n; v += 2) spec.senders.push_back(v);
+      for (u32 v = 1; v < n; v += 2) spec.receivers.push_back(v);
+      spec.k_s = 4;
+      spec.k_r = 4;
+      std::vector<std::vector<routed_token>> batch(spec.senders.size());
+      for (u32 si = 0; si < spec.senders.size(); ++si)
+        for (u32 i = 0; i < 4; ++i) {
+          const u32 r = spec.receivers[(si + i) % spec.receivers.size()];
+          batch[si].push_back(
+              {spec.senders[si], r, i, u64{spec.senders[si]} << 16 | i});
+        }
+      try {
+        run_token_routing(net, std::move(spec), std::move(batch));
+      } catch (const fault_failure&) {
+        success = 0;
+      }
+      rounds = net.round();
+      retx = net.raw_metrics().retransmitted;
+      dropped = net.raw_metrics().global_dropped;
+    });
+    t.add_row({table::num(p, 2),
+               table::integer(static_cast<long long>(rounds)),
+               table::integer(static_cast<long long>(retx)),
+               table::integer(static_cast<long long>(dropped)),
+               table::integer(success), table::num(ms, 2)});
+    rec.add("token_routing_degradation", {{"p_x100", p * 100},
+                                          {"n", n},
+                                          {"sim_rounds", rounds},
+                                          {"retransmitted", retx},
+                                          {"global_dropped", dropped},
+                                          {"success", success},
+                                          {"wall_ms", ms}});
+  }
+  t.print();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_recorder rec(argc, argv, "bench_faults");
+  bench_flood(rec);
+  bench_dissemination(rec);
+  bench_token_routing(rec);
+  if (!rec.write()) {
+    std::cerr << "failed to write --json output\n";
+    return 1;
+  }
+  return 0;
+}

@@ -15,10 +15,11 @@ namespace hybrid {
 
 diameter_result hybrid_diameter(const graph& g, const model_config& cfg,
                                 u64 seed,
-                                const clique_diameter_algorithm& alg) {
+                                const clique_diameter_algorithm& alg,
+                                sim_options opts) {
   HYB_REQUIRE(g.is_unweighted(),
               "Theorem 5.1 approximates the unweighted diameter");
-  hybrid_net net(g, cfg, seed);
+  hybrid_net net(g, cfg, seed, opts);
   const u32 n = net.n();
   diameter_result out;
 
@@ -81,11 +82,12 @@ diameter_result hybrid_diameter(const graph& g, const model_config& cfg,
 }
 
 weighted_diameter_result hybrid_weighted_diameter_2approx(
-    const graph& g, const model_config& cfg, u64 seed, u32 pivot) {
+    const graph& g, const model_config& cfg, u64 seed, u32 pivot,
+    sim_options opts) {
   HYB_REQUIRE(pivot < g.num_nodes(), "pivot out of range");
   // One exact SSSP from the pivot (Theorem 1.3), then a max-aggregation
   // over every node's learned distance (Lemma B.2) yields e(pivot).
-  sssp_result sssp = hybrid_sssp_exact(g, cfg, seed, pivot);
+  sssp_result sssp = hybrid_sssp_exact(g, cfg, seed, pivot, opts);
   weighted_diameter_result out;
   for (u64 d : sssp.dist) {
     HYB_REQUIRE(d != kInfDist, "graph must be connected");

@@ -31,7 +31,8 @@ struct diameter_result {
 
 diameter_result hybrid_diameter(const graph& g, const model_config& cfg,
                                 u64 seed,
-                                const clique_diameter_algorithm& alg);
+                                const clique_diameter_algorithm& alg,
+                                sim_options opts = {});
 
 /// Weighted-diameter (2+o(1))-approximation in Õ(n^{2/5}) rounds — the
 /// upper bound the paper pairs with Theorem 1.6's (2−ε) lower bound
@@ -45,7 +46,8 @@ struct weighted_diameter_result {
 };
 
 weighted_diameter_result hybrid_weighted_diameter_2approx(
-    const graph& g, const model_config& cfg, u64 seed, u32 pivot = 0);
+    const graph& g, const model_config& cfg, u64 seed, u32 pivot = 0,
+    sim_options opts = {});
 
 // ---- diameter through the Theorem 1.1 distance labels ----------------------
 //

@@ -1,6 +1,7 @@
 #include "proto/aggregation.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "util/assert.hpp"
 
@@ -33,6 +34,109 @@ u32 tree_depth_of(u32 v) {
 
 constexpr u32 kUpTag = 0xA661;
 constexpr u32 kDownTag = 0xA662;
+constexpr u32 kUpAckTag = 0xA663;
+constexpr u32 kDownAckTag = 0xA664;
+
+/// Healed aggregation for faulty global planes (docs/FAULTS.md): the
+/// lockstep depth schedule above assumes every message arrives, so under
+/// drops/crashes we switch to an acknowledged retransmission protocol on the
+/// same tree. A node re-sends its child report every round until the parent
+/// acks it, and re-sends the result to each child until that child acks;
+/// duplicate child reports are deduplicated per child slot because sum is
+/// not idempotent. Every message carries the instance epoch (the round the
+/// aggregation started at) so back-to-back aggregations ignore each other's
+/// stragglers. Terminates when every node holds the result; throws
+/// fault_failure when heal_budget_mult times the fault-free round budget
+/// elapses first (e.g. a node that never recovers).
+u64 healed_global_aggregate(hybrid_net& net, agg_op op,
+                            const std::vector<u64>& values) {
+  const u32 n = net.n();
+  const fault_options& fo = net.faults();
+  const u64 epoch = net.round();
+  const u32 nominal = aggregation_rounds(n);
+  const u64 budget = u64{fo.heal_budget_mult} * nominal;
+
+  std::vector<u64> acc = values;
+  // Per-node protocol state; slot 0/1 = child 2v+1 / 2v+2.
+  std::vector<std::array<u8, 2>> got_child(n, {0, 0});
+  std::vector<std::array<u8, 2>> down_sent(n, {0, 0});
+  std::vector<std::array<u8, 2>> down_acked(n, {0, 0});
+  std::vector<u8> up_sent(n, 0);
+  std::vector<u8> up_acked(n, 0);
+  std::vector<u8> have(n, 0);
+  std::vector<u64> retx(n, 0);
+
+  round_executor& exec = net.executor();
+  u64 used = 0;
+  for (;;) {
+    if (used >= budget)
+      throw fault_failure("aggregation healing budget exhausted");
+    ++used;
+    exec.for_nodes(n, [&](u32 v) {
+      // A down node's inbox is empty (delivery dropped) and it sends
+      // nothing; its state freezes until recovery (fail-pause).
+      if (!net.is_up(v)) return;
+      for (const global_msg& m : net.global_inbox(v)) {
+        if (m.tag == kUpTag) {
+          if (m.w[1] != epoch) continue;
+          const u32 slot = (m.src == 2 * v + 1) ? 0 : 1;
+          if (!got_child[v][slot]) {
+            got_child[v][slot] = 1;
+            acc[v] = combine(op, acc[v], m.w[0]);
+          }
+          // Ack even duplicates: the child retransmits until one lands.
+          net.try_send_global(global_msg::make(v, m.src, kUpAckTag, {epoch}));
+        } else if (m.tag == kUpAckTag) {
+          if (m.w[0] == epoch) up_acked[v] = 1;
+        } else if (m.tag == kDownTag) {
+          if (m.w[1] != epoch) continue;
+          if (!have[v]) {
+            have[v] = 1;
+            acc[v] = m.w[0];
+          }
+          net.try_send_global(
+              global_msg::make(v, m.src, kDownAckTag, {epoch}));
+        } else if (m.tag == kDownAckTag) {
+          if (m.w[0] != epoch) continue;
+          down_acked[v][(m.src == 2 * v + 1) ? 0 : 1] = 1;
+        }
+      }
+      const bool kids_done = (2 * v + 1 >= n || got_child[v][0]) &&
+                             (2 * v + 2 >= n || got_child[v][1]);
+      if (v == 0) {
+        if (kids_done) have[v] = 1;
+      } else if (kids_done && !up_acked[v]) {
+        if (net.try_send_global(
+                global_msg::make(v, (v - 1) / 2, kUpTag, {acc[v], epoch})) &&
+            up_sent[v])
+          ++retx[v];
+        up_sent[v] = 1;
+      }
+      if (have[v]) {
+        for (u32 slot = 0; slot < 2; ++slot) {
+          const u32 c = 2 * v + 1 + slot;
+          if (c >= n || down_acked[v][slot]) continue;
+          if (net.try_send_global(
+                  global_msg::make(v, c, kDownTag, {acc[v], epoch})) &&
+              down_sent[v][slot])
+            ++retx[v];
+          down_sent[v][slot] = 1;
+        }
+      }
+    });
+    net.advance_round();
+    if (!exec.any_node(n, [&](u32 v) { return !have[v]; })) break;
+  }
+  u64 resent = 0;
+  for (u32 v = 0; v < n; ++v) resent += retx[v];
+  net.note_retransmitted(resent);
+  if (used > nominal) net.note_extra_rounds(used - nominal);
+
+  const u64 result = acc[0];
+  for (u32 v = 0; v < n; ++v)
+    HYB_INVARIANT(acc[v] == result, "aggregation failed to reach all nodes");
+  return result;
+}
 
 }  // namespace
 
@@ -44,6 +148,8 @@ u64 global_aggregate(hybrid_net& net, agg_op op,
                      const std::vector<u64>& values) {
   const u32 n = net.n();
   HYB_REQUIRE(values.size() == n, "need one value per node");
+  if (net.global_faults_active())
+    return healed_global_aggregate(net, op, values);
 
   const u32 max_depth = tree_depth_of(n - 1);
   std::vector<u32> depth(n);

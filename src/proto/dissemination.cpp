@@ -88,16 +88,33 @@ dissemination_result disseminate(hybrid_net& net,
   const u32 cadence = 16;  // gossip rounds between termination checks
   u64 budget = 4 * (isqrt(k) + ceil_div(ell * seed_copies, net.global_cap())) +
                cadence;
+  // Fault degradation (docs/FAULTS.md): gossip is self-healing by nature —
+  // every round each node re-offers uniformly random tokens from its whole
+  // known set, so dropped copies get unlimited fresh chances and the
+  // doubling outer loop already absorbs the slowdown. Crashed nodes pause
+  // (no sends, no pulls, fresh list preserved for when they recover). The
+  // only extra machinery needed is a hard budget so a node that never
+  // recovers surfaces as fault_failure instead of an endless loop.
+  const bool lf = net.local_faults_active();
+  const bool faulty = net.faults_active();
+  const u64 budget0 = budget;
+  const u64 fail_budget =
+      u64{net.faults().heal_budget_mult} *
+      std::max<u64>(budget, aggregation_rounds(n));
+  u64 spent = 0;
+  std::vector<u64> dropped(lf ? n : 0, 0);
   round_executor& exec = net.executor();
   bool done = false;
   while (!done) {
-    for (u64 r = 0; r < budget && !done; ++r) {
+    for (u64 r = 0; r < budget && !done; ++r, ++spent) {
       // Global pushes (seeding first, then uniform random gossip) and the
       // pull side of the local flood run node-parallel: node v draws from
       // its (seed, v, round) stream, spends its own γ budget, and collects
       // fresh tokens from its neighbors' frozen fresh-lists.
       std::vector<std::vector<u32>> inject(n);
       const u64 items = exec.sum_nodes(n, [&](u32 v) -> u64 {
+        if (lf) dropped[v] = 0;
+        if (!net.is_up(v)) return 0;  // fail-pause: no sends, no pulls
         rng rv = net.round_rng(v);
         while (!st[v].seed_queue.empty() && net.global_budget(v) > 0) {
           auto& [idx, left] = st[v].seed_queue.back();
@@ -119,13 +136,30 @@ dissemination_result disseminate(hybrid_net& net,
         u64 mine = 0;
         for (const edge& e : g.neighbors(v)) {
           const std::vector<u32>& from = st[e.to].fresh;
-          mine += from.size();
-          for (u32 idx : from)
+          const u32 cnt = static_cast<u32>(from.size());
+          mine += cnt;
+          for (u32 j = 0; j < cnt; ++j) {
+            if (lf && net.local_drop(e.to, v, j, cnt)) {
+              ++dropped[v];
+              continue;
+            }
+            const u32 idx = from[j];
             if (!st[v].knows(idx)) inject[v].push_back(idx);
+          }
         }
         return mine;
       });
-      exec.for_nodes(n, [&](u32 v) { st[v].fresh.clear(); });
+      // Fresh lists of down nodes are preserved: when the node recovers it
+      // re-offers them, so a crash can't permanently strand a token that
+      // exists nowhere else locally.
+      exec.for_nodes(n, [&](u32 v) {
+        if (net.is_up(v)) st[v].fresh.clear();
+      });
+      if (lf) {
+        u64 lost = 0;
+        for (u32 v = 0; v < n; ++v) lost += dropped[v];
+        net.note_local_dropped(lost);
+      }
       net.charge_local(items);
       net.advance_round();
       exec.for_nodes(n, [&](u32 v) {
@@ -153,9 +187,15 @@ dissemination_result disseminate(hybrid_net& net,
         flags[v] =
             (st[v].known.size() == k && st[v].seed_queue.empty()) ? 1 : 0;
       done = global_aggregate(net, agg_op::logical_and, flags) == 1;
+      if (!done && faulty && spent >= fail_budget)
+        throw fault_failure("dissemination healing budget exhausted");
       budget *= 2;
     }
   }
+  // Gossip rounds beyond the initial budget count as healing overhead (the
+  // fault-free run fits the first budget on every workload we bench; the
+  // doubling loop exists for adversarial token distributions).
+  if (faulty && spent > budget0) net.note_extra_rounds(spent - budget0);
   HYB_INVARIANT(all_done(), "dissemination terminated before completion");
   out.rounds_used = net.round() - start_round;
   return out;

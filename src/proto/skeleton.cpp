@@ -39,13 +39,52 @@ skeleton_result compute_skeleton(hybrid_net& net, double sample_prob,
   // h rounds of limited Bellman–Ford from all skeleton nodes; every node
   // learns d_h to nearby skeletons, skeleton nodes derive their incident
   // skeleton edges.
-  sk.near = limited_bellman_ford(net, sk.nodes, sk.h, /*advance_rounds=*/true);
-  sk.edges.resize(sk.nodes.size());
-  for (u32 i = 0; i < sk.nodes.size(); ++i) {
-    for (const source_distance& sd : sk.near[sk.nodes[i]]) {
-      if (sd.source == i) continue;
-      sk.edges[i].push_back({sd.source, sd.dist});
+  auto explore = [&]() {
+    sk.near = limited_bellman_ford(net, sk.nodes, sk.h,
+                                   /*advance_rounds=*/true);
+    sk.edges.assign(sk.nodes.size(), {});
+    for (u32 i = 0; i < sk.nodes.size(); ++i) {
+      for (const source_distance& sd : sk.near[sk.nodes[i]]) {
+        if (sd.source == i) continue;
+        sk.edges[i].push_back({sd.source, sd.dist});
+      }
     }
+  };
+  if (!net.local_faults_active()) {
+    explore();
+    return sk;
+  }
+  // Re-stabilization (docs/FAULTS.md): the healed Bellman–Ford can declare
+  // stability while a dropped update is still pending (~p^stability per
+  // entry under random drops); its built-in referee turns that into a
+  // fault_failure instead of a wrong skeleton. A re-run gets fresh fault
+  // draws — the round counter moved on — so retry a few times before giving
+  // up. The edge-symmetry check (a converged exploration has d_h(u, v) =
+  // d_h(v, u)) stays as an independent convergence witness.
+  auto symmetric = [&]() {
+    for (u32 i = 0; i < sk.edges.size(); ++i)
+      for (const auto& [j, w] : sk.edges[i]) {
+        bool found = false;
+        for (const auto& [bi, bw] : sk.edges[j])
+          if (bi == i && bw == w) {
+            found = true;
+            break;
+          }
+        if (!found) return false;
+      }
+    return true;
+  };
+  u32 attempts = 0;
+  for (;;) {
+    bool converged = true;
+    try {
+      explore();
+    } catch (const fault_failure&) {
+      converged = false;
+    }
+    if (converged && symmetric()) break;
+    if (++attempts >= 4)
+      throw fault_failure("skeleton re-stabilization failed to converge");
   }
   return sk;
 }

@@ -204,6 +204,9 @@ sparse_exploration_result run_local_exploration(hybrid_net& net, u32 h,
                                                 bool advance_rounds,
                                                 const std::vector<u32>* sources,
                                                 bool first_hops) {
+  // Both implementations assume reliable neighborhood reads; a lossy run
+  // would return silently wrong h-ball contents (docs/FAULTS.md).
+  net.require_reliable_local("local exploration");
   return resolve_exploration(net.options(), net.n()) == exploration_path::kDense
              ? dense_local_exploration(net, h, advance_rounds, sources,
                                        first_hops)

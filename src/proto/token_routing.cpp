@@ -16,6 +16,7 @@ namespace {
 constexpr u32 kTokenTag = 0x7071;    // sender-helper → intermediate
 constexpr u32 kRequestTag = 0x7072;  // receiver-helper → intermediate
 constexpr u32 kAnswerTag = 0x7073;   // intermediate → receiver-helper
+constexpr u32 kTokAckTag = 0x7074;   // intermediate → sender-helper (faults)
 constexpr u32 kMaxTokenIndex = 1u << 22;
 
 /// Pack a label (s, r, i) into one word for flooding and messages.
@@ -190,8 +191,22 @@ std::vector<std::vector<routed_token>> route_tokens(
   const routing_spec& spec = ctx.spec;
   HYB_REQUIRE(by_sender.size() == spec.senders.size(),
               "token batch must align with the sender list");
-  if (net.config().charged_token_routing)
+  if (net.config().charged_token_routing) {
+    // The stand-in moves no real messages, so there is nothing to drop and
+    // nothing to heal — it cannot model a faulty global plane.
+    net.require_reliable_global("charged token routing");
     return charged_route_tokens(net, ctx, by_sender);
+  }
+  // Fault degradation (docs/FAULTS.md): under a faulty global plane the
+  // push/request/answer triangle gains an acknowledgement layer. An
+  // intermediate acks every kTokenTag it receives and keeps answered tokens
+  // in its store (re-requests must stay answerable); sender-helpers re-push
+  // unacked tokens and receiver-helpers re-request unanswered labels every
+  // few rounds (a full round trip, so in-flight acks get a chance to land
+  // before the retransmission fires). Crashed nodes pause with their queues
+  // intact. The progress guard becomes a heal budget: exhausting it throws
+  // fault_failure instead of tripping an invariant.
+  const bool faulty = net.global_faults_active();
 
   std::vector<u32> receiver_pos(n, ~u32{0});
   for (u32 i = 0; i < spec.receivers.size(); ++i)
@@ -291,27 +306,69 @@ std::vector<std::vector<routed_token>> route_tokens(
   std::vector<u64> send_cursor(n, 0), req_cursor(n, 0);
   for (u32 v = 0; v < n; ++v) want_left[v] = want[v].size();
 
+  // Retransmission bookkeeping, allocated only under faults: per-task
+  // pushed/acked flags and a label→index map to resolve acks (sender side),
+  // per-label answered flags to dedup duplicate answers (receiver side).
+  std::vector<std::vector<u8>> pushed, acked, requested, answered;
+  std::vector<std::unordered_map<u64, u32>> task_of, want_of;
+  std::vector<u64> acked_left(n, 0), retx;
+  if (faulty) {
+    pushed.resize(n);
+    acked.resize(n);
+    requested.resize(n);
+    answered.resize(n);
+    task_of.resize(n);
+    want_of.resize(n);
+    retx.assign(n, 0);
+    for (u32 v = 0; v < n; ++v) {
+      pushed[v].assign(send_tasks[v].size(), 0);
+      acked[v].assign(send_tasks[v].size(), 0);
+      acked_left[v] = send_tasks[v].size();
+      for (u32 i = 0; i < send_tasks[v].size(); ++i)
+        task_of[v][send_tasks[v][i].label] = i;
+      requested[v].assign(want[v].size(), 0);
+      answered[v].assign(want[v].size(), 0);
+      for (u32 i = 0; i < want[v].size(); ++i)
+        want_of[v][want[v][i].label] = i;
+    }
+  }
+
   round_executor& exec = net.executor();
   // Read-only early-exit scan between barriers; cheaper sequential than as
   // a pool dispatch (it usually bails at the first busy node).
   auto phase_done = [&]() {
+    if (faulty) {
+      // Done = every token acked by its intermediate AND every label
+      // answered; cursor position alone means nothing when sends can drop.
+      for (u32 v = 0; v < n; ++v)
+        if (acked_left[v] != 0 || want_left[v] != 0) return false;
+      return true;
+    }
     for (u32 v = 0; v < n; ++v)
       if (send_cursor[v] < send_tasks[v].size() || want_left[v] != 0)
         return false;
     return true;
   };
 
-  const u64 guard_rounds =
+  const u64 guard0 =
       16 * (total_routed / std::max<u64>(1, n) + spec.k_s + spec.k_r + n) +
       64;
+  const u64 guard_rounds =
+      faulty ? u64{net.faults().heal_budget_mult} * guard0 : guard0;
   u64 spent = 0;
   // Every node plays its three roles against its own queues, cursors, and
   // send budget; the public hash is immutable, so both halves of the round
   // run node-parallel on the executor.
   while (!phase_done()) {
-    HYB_INVARIANT(spent++ < guard_rounds,
-                  "token routing failed to make progress");
+    if (faulty) {
+      if (spent++ >= guard_rounds)
+        throw fault_failure("token routing healing budget exhausted");
+    } else {
+      HYB_INVARIANT(spent++ < guard_rounds,
+                    "token routing failed to make progress");
+    }
     exec.for_nodes(n, [&](u32 v) {
+      if (faulty && !net.is_up(v)) return;  // fail-pause: queues freeze
       // Intermediate role first: answer what we can.
       while (!answer_queue[v].empty() && net.global_budget(v) > 0) {
         auto [lbl, dst] = answer_queue[v].front();
@@ -320,35 +377,61 @@ std::vector<std::vector<routed_token>> route_tokens(
         HYB_INVARIANT(it != store[v].end(), "answering a missing token");
         net.try_send_global(
             global_msg::make(v, dst, kAnswerTag, {lbl, it->second}));
-        store[v].erase(it);
+        // Under faults the answer may drop and the receiver re-request, so
+        // the store must stay answerable.
+        if (!faulty) store[v].erase(it);
       }
       // Sender-helper role: push tokens (keep a reserve for requests).
       const u32 reserve = net.global_cap() / 4;
       while (send_cursor[v] < send_tasks[v].size() &&
              net.global_budget(v) > reserve) {
-        const helper_task& t = send_tasks[v][send_cursor[v]++];
+        const u32 i = static_cast<u32>(send_cursor[v]++);
+        if (faulty && acked[v][i]) continue;
+        const helper_task& t = send_tasks[v][i];
         net.try_send_global(global_msg::make(
             v, intermediate_of(t.label), kTokenTag, {t.label, t.payload}));
+        if (faulty) {
+          if (pushed[v][i]) ++retx[v];
+          pushed[v][i] = 1;
+        }
       }
       // v-private release of a drained queue (an empty vector satisfies the
       // cursor checks above and in phase_done, so this is memory only).
-      if (!send_tasks[v].empty() && send_cursor[v] == send_tasks[v].size()) {
+      // Under faults the queue must survive for retransmission.
+      if (!faulty && !send_tasks[v].empty() &&
+          send_cursor[v] == send_tasks[v].size()) {
         std::vector<helper_task>().swap(send_tasks[v]);
         send_cursor[v] = 0;
       }
       // Receiver-helper role: request labels.
       while (req_cursor[v] < want[v].size() && net.global_budget(v) > 0) {
-        const u64 lbl = want[v][req_cursor[v]++].label;
+        const u32 i = static_cast<u32>(req_cursor[v]++);
+        if (faulty && answered[v][i]) continue;
+        const u64 lbl = want[v][i].label;
         net.try_send_global(
             global_msg::make(v, intermediate_of(lbl), kRequestTag, {lbl}));
+        if (faulty) {
+          if (requested[v][i]) ++retx[v];
+          requested[v][i] = 1;
+        }
       }
-      if (!want[v].empty() && req_cursor[v] == want[v].size()) {
+      if (!faulty && !want[v].empty() && req_cursor[v] == want[v].size()) {
         std::vector<helper_task>().swap(want[v]);
         req_cursor[v] = 0;
+      }
+      // Retransmission cadence: once the sweep finished but work remains
+      // unacked/unanswered, rewind the cursor every 4th round — one full
+      // push→ack (or request→answer) round trip.
+      if (faulty && spent % 4 == 0) {
+        if (acked_left[v] != 0 && send_cursor[v] >= send_tasks[v].size())
+          send_cursor[v] = 0;
+        if (want_left[v] != 0 && req_cursor[v] >= want[v].size())
+          req_cursor[v] = 0;
       }
     });
     net.advance_round();
     exec.for_nodes(n, [&](u32 v) {
+      if (faulty && !net.is_up(v)) return;
       for (const global_msg& m : net.global_inbox(v)) {
         switch (m.tag) {
           case kTokenTag: {
@@ -359,6 +442,11 @@ std::vector<std::vector<routed_token>> route_tokens(
                 answer_queue[v].push_back({m.w[0], dst});
               pending[v].erase(p);
             }
+            // Ack even duplicates — the previous ack may have dropped.
+            // Best-effort: a lost ack just means one more re-push.
+            if (faulty)
+              net.try_send_global(
+                  global_msg::make(v, m.src, kTokAckTag, {m.w[0]}));
             break;
           }
           case kRequestTag: {
@@ -369,9 +457,26 @@ std::vector<std::vector<routed_token>> route_tokens(
             break;
           }
           case kAnswerTag: {
+            if (faulty) {
+              const auto it = want_of[v].find(m.w[0]);
+              HYB_INVARIANT(it != want_of[v].end(),
+                            "answer for an unrequested label");
+              if (answered[v][it->second]) break;  // duplicate answer
+              answered[v][it->second] = 1;
+            }
             fetched[v].push_back({m.w[0], m.w[1]});
             HYB_INVARIANT(want_left[v] > 0, "unexpected answer");
             --want_left[v];
+            break;
+          }
+          case kTokAckTag: {
+            const auto it = task_of[v].find(m.w[0]);
+            HYB_INVARIANT(it != task_of[v].end(), "ack for an unknown token");
+            if (!acked[v][it->second]) {
+              acked[v][it->second] = 1;
+              HYB_INVARIANT(acked_left[v] > 0, "ack bookkeeping underflow");
+              --acked_left[v];
+            }
             break;
           }
           default:
@@ -379,6 +484,11 @@ std::vector<std::vector<routed_token>> route_tokens(
         }
       }
     });
+  }
+  if (faulty) {
+    u64 resent = 0;
+    for (u32 v = 0; v < n; ++v) resent += retx[v];
+    net.note_retransmitted(resent);
   }
   // Distributed completion detection, charged as one AND-aggregation.
   global_aggregate(net, agg_op::logical_and, std::vector<u64>(n, 1));

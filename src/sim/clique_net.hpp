@@ -44,6 +44,16 @@ class clique_net {
   u64 round() const { return rounds_; }
   u32 max_recv_per_round() const { return max_recv_; }
   u64 total_messages() const { return total_msgs_; }
+  /// Fault accounting (sim/fault.hpp): sends entering delivery and sends
+  /// lost to injected faults; total_sent() == total_messages() +
+  /// total_dropped() always. The clique's drop stream derives from
+  /// fault_options::fault_seed alone (the clique simulator has no run
+  /// seed); fault_options::drop_global is its drop probability and the
+  /// crash schedule applies unchanged.
+  u64 total_sent() const { return total_sent_; }
+  u64 total_dropped() const { return total_dropped_; }
+  bool faults_active() const { return fault_on_; }
+  bool is_up(u32 v) const { return !has_crashes_ || !down_cur_[v]; }
 
   /// Node-parallel round executor; same determinism contract as the HYBRID
   /// simulator (docs/CONCURRENCY.md).
@@ -64,12 +74,24 @@ class clique_net {
   mailbox_stats mailbox_stats_probe() const { return mail_.stats(); }
 
  private:
+  bool drop(u32 src, u32 idx, const clique_msg& m) const;
+  void fill_down(std::vector<u8>& down, u64 round) const;
+
   u32 n_;
   round_executor exec_;
   u64 rounds_ = 0;
   u64 total_msgs_ = 0;
+  u64 total_sent_ = 0;
+  u64 total_dropped_ = 0;
   u32 max_recv_ = 0;
   flat_mailbox<clique_msg> mail_;
+  fault_options faults_;
+  bool fault_on_ = false;
+  bool has_crashes_ = false;
+  u64 fault_base_ = 0;
+  std::vector<u8> down_cur_;
+  std::vector<u8> down_next_;
+  flat_mailbox<clique_msg>::drop_filter drop_filter_;
   /// Per-shard receive-load maxima for advance_round's reduction; a member
   /// so steady-state rounds stay allocation-free.
   std::vector<u64> recv_scratch_;

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/fault.hpp"
 #include "util/bits.hpp"
 
 namespace hybrid {
@@ -64,6 +65,10 @@ struct sim_options {
   exploration_path exploration = exploration_path::kAuto;
   /// Whether APSP/k-SSP results carry dense matrices besides their labels.
   result_storage storage = result_storage::kAuto;
+  /// Fault injection: seeded message loss and node crash/recovery
+  /// (sim/fault.hpp, docs/FAULTS.md). Default-constructed = disabled, and
+  /// the simulators' fault-free paths are untouched.
+  fault_options faults = {};
 };
 
 /// Largest n for which exploration_path::kAuto stays on the dense path

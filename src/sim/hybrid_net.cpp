@@ -55,6 +55,80 @@ hybrid_net::hybrid_net(const graph& g, model_config cfg, u64 seed,
   for (u32 v = 0; v < n(); ++v)
     node_stream_.push_back(derive_seed(seed, (u64{1} << 63) | v));
   if (cfg_.cut_side.size() == n()) cut_side_ = cfg_.cut_side;
+
+  // Fault wiring (sim/fault.hpp): everything below stays dormant — and the
+  // delivery filter stays null — with the default fault_options.
+  const fault_options& fo = opts_.faults;
+  HYB_REQUIRE(fo.drop_global >= 0.0 && fo.drop_global <= 1.0 &&
+                  fo.drop_local >= 0.0 && fo.drop_local <= 1.0,
+              "drop probabilities must lie in [0, 1]");
+  for (const crash_event& c : fo.crashes) {
+    HYB_REQUIRE(c.node < n(), "crash event node out of range");
+    HYB_REQUIRE(c.down_round < c.up_round, "crash interval must be nonempty");
+  }
+  fault_global_ = fo.global_faulty();
+  fault_local_ = fo.local_faulty();
+  has_crashes_ = !fo.crashes.empty();
+  if (fault_global_)
+    fault_base_global_ = fault_plane_base(seed, fo.fault_seed,
+                                          kFaultPlaneGlobal);
+  if (fault_local_)
+    fault_base_local_ = fault_plane_base(seed, fo.fault_seed,
+                                         kFaultPlaneLocal);
+  if (has_crashes_) {
+    down_cur_.assign(n(), 0);
+    down_next_.assign(n(), 0);
+    fill_down(down_cur_, 0);
+  }
+  if (fault_global_)
+    drop_filter_ = [this](u32 src, u32 idx, const global_msg& m) {
+      return global_drop(src, idx, m);
+    };
+}
+
+void hybrid_net::fill_down(std::vector<u8>& down, u64 round) const {
+  std::fill(down.begin(), down.end(), 0);
+  for (const crash_event& c : opts_.faults.crashes)
+    if (round >= c.down_round && round < c.up_round) down[c.node] = 1;
+}
+
+bool hybrid_net::global_drop(u32 src, u32 idx, const global_msg& m) const {
+  // Called from inside mail_.deliver() while advance_round is closing round
+  // rounds-1: down_cur_ still describes the send round, down_next_ the
+  // round being opened (the delivery round).
+  if (has_crashes_ && (down_cur_[src] || down_next_[m.dst])) return true;
+  const fault_options& fo = opts_.faults;
+  if (fo.drop_global <= 0.0) return false;
+  if (fo.mode == fault_mode::kAdversarialPrefix)
+    return idx < adversarial_prefix_count(fo.drop_global, mail_.sends(src));
+  return fault_roll(
+      fault_draw(fault_base_global_, src, metrics_.rounds - 1, idx),
+      fo.drop_global);
+}
+
+bool hybrid_net::local_drop(u32 from, u32 to, u32 idx, u32 count) const {
+  if (has_crashes_ && (down_cur_[from] || down_cur_[to])) return true;
+  const fault_options& fo = opts_.faults;
+  if (fo.drop_local <= 0.0) return false;
+  if (fo.mode == fault_mode::kAdversarialPrefix)
+    return idx < adversarial_prefix_count(fo.drop_local, count);
+  const u64 link = (u64{from} << 32) | to;
+  return fault_roll(fault_draw(fault_base_local_, link, metrics_.rounds, idx),
+                    fo.drop_local);
+}
+
+void hybrid_net::require_reliable_local(const char* stage) const {
+  if (fault_local_)
+    throw fault_unsupported(std::string(stage) +
+                            " has no self-healing path under local-plane "
+                            "faults (docs/FAULTS.md)");
+}
+
+void hybrid_net::require_reliable_global(const char* stage) const {
+  if (fault_global_)
+    throw fault_unsupported(std::string(stage) +
+                            " has no self-healing path under global-plane "
+                            "faults (docs/FAULTS.md)");
 }
 
 void hybrid_net::advance_round() {
@@ -63,13 +137,20 @@ void hybrid_net::advance_round() {
   // the mailbox's parallel counting sort; it fixes inbox order as
   // (src, send-index), independent of send interleaving and thread count.
   ++metrics_.rounds;
-  mail_.deliver(exec_);
+  // Crash schedule: compute the opening round's bitmap before delivery
+  // (global_drop reads both — sender down at send time, receiver down at
+  // delivery), then promote it to current.
+  if (has_crashes_) fill_down(down_next_, metrics_.rounds);
+  mail_.deliver(exec_, fault_global_ ? &drop_filter_ : nullptr);
+  if (has_crashes_) down_cur_.swap(down_next_);
   // Aggregate metrics are accounted here rather than at send time so that
   // try_send_global writes only src-private state during parallel steps.
   // The executor's sum/max reductions are order-insensitive, so every
   // counter stays thread-count-invariant (docs/CONCURRENCY.md §5).
   const u64 delivered = mail_.delivered_last_round();
   metrics_.global_messages += delivered;
+  metrics_.global_sent += mail_.sent_last_round();
+  metrics_.global_dropped += mail_.dropped_last_round();
   if (delivered == 0) return;
   // One fused parallel pass over the delivered slices: per-shard
   // {payload words, cut bits, max recv}, combined in shard order. Sum and

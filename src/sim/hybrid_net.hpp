@@ -130,6 +130,31 @@ class hybrid_net {
   /// Charge `items` O(log n)-bit records crossing local edges this round.
   void charge_local(u64 items) { metrics_.local_items += items; }
 
+  // ---- fault injection (sim/fault.hpp, docs/FAULTS.md) -------------------
+  const fault_options& faults() const { return opts_.faults; }
+  bool faults_active() const { return fault_global_ || fault_local_; }
+  /// Global plane faulty: queued global sends may be dropped at delivery.
+  bool global_faults_active() const { return fault_global_; }
+  /// Local plane faulty: LOCAL primitives must route every pulled item
+  /// through local_drop() and take their self-healing paths.
+  bool local_faults_active() const { return fault_local_; }
+  /// Whether v is up in the current round (crash schedule). Down nodes
+  /// send and receive nothing on either plane but keep their state.
+  bool is_up(u32 v) const { return !has_crashes_ || !down_cur_[v]; }
+  /// Whether the idx-th of `count` items pulled from `from` by `to` across
+  /// a local edge this round is lost. Pure in (round, from, to, idx), so
+  /// callable from parallel steps; callers count drops per node and report
+  /// the sum through note_local_dropped (the charge_local charge includes
+  /// dropped items — they did cross the edge).
+  bool local_drop(u32 from, u32 to, u32 idx, u32 count) const;
+  void note_local_dropped(u64 items) { metrics_.local_dropped += items; }
+  void note_retransmitted(u64 count) { metrics_.retransmitted += count; }
+  void note_extra_rounds(u64 rounds) { metrics_.extra_rounds += rounds; }
+  /// Guards for stages without a self-healing path: throw fault_unsupported
+  /// when the respective plane is faulty, naming the stage.
+  void require_reliable_local(const char* stage) const;
+  void require_reliable_global(const char* stage) const;
+
   // ---- charged stand-ins (DESIGN.md §4) ----------------------------------
   /// Account `rounds` silent rounds without simulating them (no delivery,
   /// no budget reset — callers must have no queued sends). Used by charged
@@ -170,6 +195,12 @@ class hybrid_net {
 
  private:
   void close_phase();
+  /// Drop decision for one queued global message (send round = the round
+  /// advance_round is closing). Pure per (round, src, idx), so the mailbox
+  /// may evaluate it from parallel shards, twice per message.
+  bool global_drop(u32 src, u32 idx, const global_msg& m) const;
+  /// Recompute the crash bitmap for `round` into `down`.
+  void fill_down(std::vector<u8>& down, u64 round) const;
 
   const graph* g_;
   model_config cfg_;
@@ -203,6 +234,22 @@ class hybrid_net {
   u64 phase_start_msgs_ = 0;
 
   std::vector<u8> cut_side_;
+
+  // ---- fault state (all dormant when fault_options{} is default) ---------
+  bool fault_global_ = false;
+  bool fault_local_ = false;
+  bool has_crashes_ = false;
+  u64 fault_base_global_ = 0;
+  u64 fault_base_local_ = 0;
+  /// Crash bitmaps: down_cur_ describes the current round; during delivery
+  /// down_next_ already holds the upcoming round (messages are lost when
+  /// the sender was down at send time or the receiver is down at delivery).
+  std::vector<u8> down_cur_;
+  std::vector<u8> down_next_;
+  /// The mailbox drop filter, bound once at construction (null when the
+  /// global plane is reliable, which keeps delivery on the exact
+  /// unfiltered path).
+  flat_mailbox<global_msg>::drop_filter drop_filter_;
 };
 
 }  // namespace hybrid

@@ -32,9 +32,16 @@
 // All buffers are high-water-marked and reused across rounds; after a short
 // warm-up a round performs zero heap allocations (asserted by
 // tests/mailbox_test.cpp via stats(), quantified by bench_mailbox).
+// Fault injection (docs/FAULTS.md): deliver() optionally takes a drop
+// filter. The filter is a pure predicate of (src, send-index, message); it
+// is applied identically in the counting pass and the scatter pass, so the
+// prefix sums are computed over the *kept* messages only and the surviving
+// subset lands in the same (src, send-index) order at every thread count —
+// sparse (filtered) outboxes keep the full determinism contract.
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -53,6 +60,8 @@ struct mailbox_stats {
   u64 overflow_messages = 0;  ///< sends that missed the slab (pre-re-stride)
   u64 delivered_last_round = 0;
   u64 delivered_total = 0;
+  u64 sent_total = 0;     ///< pushes seen by deliver() (kept + dropped)
+  u64 dropped_total = 0;  ///< pushes removed by deliver()'s drop filter
 };
 
 /// Msg must expose `u32 src` / `u32 dst` members (global_msg, clique_msg).
@@ -101,11 +110,21 @@ class flat_mailbox {
   }
   u32 inbox_size(u32 v) const { return in_begin_[v + 1] - in_begin_[v]; }
   u64 delivered_last_round() const { return delivered_last_; }
+  u64 sent_last_round() const { return sent_last_; }
+  u64 dropped_last_round() const { return sent_last_ - delivered_last_; }
+
+  /// Drop predicate for fault injection: true = the message is lost.
+  /// Must be a pure function of its arguments (it runs once in the count
+  /// pass and once in the scatter pass, from parallel shards).
+  using drop_filter = std::function<bool(u32 src, u32 send_idx, const Msg&)>;
 
   /// Barrier-phase delivery: the deterministic parallel counting sort
   /// described above. Orchestrating thread only (never from inside a step);
   /// also resets all send counters and grows/re-strides arenas as needed.
-  void deliver(round_executor& exec) {
+  /// With a non-null `drop`, messages the filter rejects are counted as
+  /// dropped and never reach an inbox; survivors keep (src, send-index)
+  /// order. Null filter = the exact unfiltered code path.
+  void deliver(round_executor& exec, const drop_filter* drop = nullptr) {
     // Fast path: nothing was sent this round — common in LOCAL-only phases
     // (flood drivers advance rounds without global traffic). One early-exit
     // scan of the send counters replaces the dispatches and the O(n·T)
@@ -121,6 +140,7 @@ class flat_mailbox {
       if (delivered_last_ != 0)
         std::fill(in_begin_.begin(), in_begin_.end(), 0);
       delivered_last_ = 0;
+      sent_last_ = 0;
       return;
     }
 
@@ -135,12 +155,23 @@ class flat_mailbox {
     while (active > 0 && exec.shard_begin(n_, active - 1) >= n_) --active;
 
     // Pass 1 (parallel over source shards): count per destination. Each
-    // shard writes only its own counts_ row.
+    // shard writes only its own counts_ row. With a drop filter, only kept
+    // messages are counted — the prefix sums below must describe exactly
+    // the set pass 2 scatters, or the inboxes would carry stale slots.
     exec.for_shards(n_, [&](u32 s, u32 begin, u32 end) {
       u32* row = counts_.data() + static_cast<std::size_t>(s) * n_;
       std::fill_n(row, n_, 0);
-      for (u32 src = begin; src < end; ++src)
-        for_each_out(src, [&](const Msg& m) { ++row[m.dst]; });
+      if (drop == nullptr) {
+        for (u32 src = begin; src < end; ++src)
+          for_each_out(src, [&](const Msg& m) { ++row[m.dst]; });
+      } else {
+        for (u32 src = begin; src < end; ++src) {
+          u32 i = 0;
+          for_each_out(src, [&](const Msg& m) {
+            if (!(*drop)(src, i++, m)) ++row[m.dst];
+          });
+        }
+      }
     });
 
     // Exclusive prefix sum over (dst, shard) on the orchestrator — O(n·T),
@@ -174,15 +205,26 @@ class flat_mailbox {
     exec.for_shards(n_, [&](u32 s, u32 begin, u32 end) {
       u32* cursor = counts_.data() + static_cast<std::size_t>(s) * n_;
       Msg* arena = in_arena_.data();
-      for (u32 src = begin; src < end; ++src)
-        for_each_out(src, [&](const Msg& m) { arena[cursor[m.dst]++] = m; });
+      if (drop == nullptr) {
+        for (u32 src = begin; src < end; ++src)
+          for_each_out(src, [&](const Msg& m) { arena[cursor[m.dst]++] = m; });
+      } else {
+        for (u32 src = begin; src < end; ++src) {
+          u32 i = 0;
+          for_each_out(src, [&](const Msg& m) {
+            if (!(*drop)(src, i++, m)) arena[cursor[m.dst]++] = m;
+          });
+        }
+      }
     });
 
     // Reset outboxes; re-stride once if any slab overflowed this round so
     // the same workload shape never overflows (or allocates) again.
     u32 max_count = 0;
+    u64 sent = 0;
     for (u32 v = 0; v < n_; ++v) {
       max_count = std::max(max_count, out_count_[v]);
+      sent += out_count_[v];
       out_count_[v] = 0;
       if (!overflow_[v].empty()) {
         overflow_total_ += overflow_[v].size();
@@ -194,6 +236,9 @@ class flat_mailbox {
       out_arena_.resize(static_cast<std::size_t>(n_) * stride_);
       ++grow_events_;
     }
+    sent_last_ = sent;
+    sent_total_ += sent;
+    dropped_total_ += sent - delivered_last_;
   }
 
   mailbox_stats stats() const {
@@ -203,7 +248,9 @@ class flat_mailbox {
             grow_events_,
             overflow_total_,
             delivered_last_,
-            delivered_total_};
+            delivered_total_,
+            sent_total_,
+            dropped_total_};
   }
 
   /// Release the high-water arenas back to their construction size (memory
@@ -223,6 +270,7 @@ class flat_mailbox {
     std::fill(in_begin_.begin(), in_begin_.end(), 0);
     for (auto& spill : overflow_) std::vector<Msg>().swap(spill);
     delivered_last_ = 0;
+    sent_last_ = 0;
     ++grow_events_;
   }
 
@@ -248,6 +296,9 @@ class flat_mailbox {
   std::vector<u32> counts_;      ///< shard-count / scatter-cursor matrix
   u64 delivered_last_ = 0;
   u64 delivered_total_ = 0;
+  u64 sent_last_ = 0;
+  u64 sent_total_ = 0;
+  u64 dropped_total_ = 0;
   u64 overflow_total_ = 0;
   u64 grow_events_ = 0;
 };

@@ -12,6 +12,11 @@ void run_metrics::absorb(const run_metrics& sub) {
   max_global_recv_per_round =
       std::max(max_global_recv_per_round, sub.max_global_recv_per_round);
   cut_bits += sub.cut_bits;
+  global_sent += sub.global_sent;
+  global_dropped += sub.global_dropped;
+  local_dropped += sub.local_dropped;
+  retransmitted += sub.retransmitted;
+  extra_rounds += sub.extra_rounds;
   phases.insert(phases.end(), sub.phases.begin(), sub.phases.end());
 }
 

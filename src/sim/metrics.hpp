@@ -33,6 +33,21 @@ struct run_metrics {
   /// (Section 7's information bottleneck).
   u64 cut_bits = 0;
 
+  // ---- fault accounting (sim/fault.hpp, docs/FAULTS.md) --------------------
+  // Always maintained; all four stay 0 with fault injection off, and
+  // global_sent == global_messages then. Invariant (asserted in sim_test):
+  // global_sent == global_messages + global_dropped.
+  /// Global-plane sends entering delivery (delivered + dropped).
+  u64 global_sent = 0;
+  /// Global-plane sends lost to injected faults.
+  u64 global_dropped = 0;
+  /// LOCAL-mode items lost to injected faults (still charged to local_items).
+  u64 local_dropped = 0;
+  /// Protocol-level re-sends performed by the self-healing stages.
+  u64 retransmitted = 0;
+  /// Healing rounds spent beyond the stages' fault-free round budgets.
+  u64 extra_rounds = 0;
+
   std::vector<phase_entry> phases;
 
   /// Merge a sub-run (e.g., a nested protocol measured separately).

@@ -220,6 +220,61 @@ TEST(FlatMailbox, CliqueDeliveryBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(run(8), base);
 }
 
+// Filtered delivery (the fault-injection drop path, sim/fault.hpp): the
+// dual-pass counting sort must keep survivors in (src, send-index) order,
+// deliver bit-identically at every thread count, and account sent/dropped
+// consistently — specifically under sparse scatter, where most nodes send
+// nothing and a rotating minority sends bursts, so shard tails see empty
+// and dense source runs side by side.
+TEST(FlatMailbox, FilteredSparseScatterKeepsOrderAcrossThreadCounts) {
+  const u32 n = 257;
+  const graph g = gen::erdos_renyi_connected(n, 4.0, 1, 11);
+  const u32 rounds = 10;
+  auto run = [&](u32 threads) {
+    sim_options opts;
+    opts.threads = threads;
+    opts.faults.drop_global = 0.35;
+    opts.faults.fault_seed = 13;
+    hybrid_net net(g, model_config{}, 31, opts);
+    std::vector<u64> digests;
+    for (u32 r = 0; r < rounds; ++r) {
+      net.executor().for_nodes(n, [&](u32 v) {
+        if (v % 17 != r % 17) return;  // sparse: ~n/17 senders per round
+        rng rv = net.round_rng(v);
+        const u32 k = static_cast<u32>(rv.next_below(net.global_cap() + 1));
+        for (u32 i = 0; i < k; ++i) {
+          const u32 dst = static_cast<u32>(rv.next_below(n));
+          ASSERT_TRUE(
+              net.try_send_global(global_msg::make(v, dst, i, {rv.next()})));
+        }
+      });
+      net.advance_round();
+      u64 round_digest = 0;
+      for (u32 v = 0; v < n; ++v) {
+        const auto box = net.global_inbox(v);
+        // Survivors keep (src, send-index) order: the tag is the per-source
+        // send counter, so within one src it must stay strictly increasing
+        // after the filter removed arbitrary positions.
+        for (u32 i = 1; i < box.size(); ++i)
+          EXPECT_TRUE(box[i - 1].src < box[i].src ||
+                      (box[i - 1].src == box[i].src &&
+                       box[i - 1].tag < box[i].tag))
+              << "round " << r << " dst " << v << " pos " << i;
+        round_digest ^= (v + 1) * inbox_digest(box);
+      }
+      digests.push_back(round_digest);
+    }
+    const run_metrics m = net.raw_metrics();
+    return std::make_tuple(digests, m.global_sent, m.global_messages,
+                           m.global_dropped);
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(8), base);
+  EXPECT_GT(std::get<3>(base), 0u);
+  EXPECT_EQ(std::get<1>(base), std::get<2>(base) + std::get<3>(base));
+}
+
 TEST(FlatMailbox, EmptyRoundsDeliverNothingAndResetInboxes) {
   const graph g = gen::path(4);
   hybrid_net net(g, model_config{}, 3, sim_options{8});

@@ -149,5 +149,74 @@ TEST(CliqueNet, SendCapIsN) {
   EXPECT_THROW(net.send(m), std::logic_error);
 }
 
+// Metrics regression (docs/FAULTS.md): sent == delivered + dropped on both
+// simulators, with fault injection off (dropped pinned at 0) and on.
+TEST(HybridNet, SentEqualsDeliveredPlusDroppedFaultsOff) {
+  const graph g = gen::path(16);
+  hybrid_net net(g, default_cfg(), 3);
+  for (u32 r = 0; r < 5; ++r) {
+    for (u32 v = 0; v < 16; ++v)
+      net.try_send_global(global_msg::make(v, (v + r + 1) % 16, r, {v}));
+    net.advance_round();
+  }
+  const run_metrics& m = net.raw_metrics();
+  EXPECT_EQ(m.global_dropped, 0u);
+  EXPECT_EQ(m.global_sent, m.global_messages);
+  EXPECT_EQ(m.global_sent, u64{5} * 16);
+}
+
+TEST(HybridNet, SentEqualsDeliveredPlusDroppedFaultsOn) {
+  const graph g = gen::path(16);
+  sim_options opts;
+  opts.threads = 2;
+  opts.faults.drop_global = 0.4;
+  opts.faults.fault_seed = 7;
+  hybrid_net net(g, default_cfg(), 3, opts);
+  for (u32 r = 0; r < 8; ++r) {
+    for (u32 v = 0; v < 16; ++v)
+      net.try_send_global(global_msg::make(v, (v + r + 1) % 16, r, {v}));
+    net.advance_round();
+  }
+  const run_metrics& m = net.raw_metrics();
+  EXPECT_EQ(m.global_sent, u64{8} * 16);
+  EXPECT_EQ(m.global_sent, m.global_messages + m.global_dropped);
+  EXPECT_GT(m.global_dropped, 0u);
+  u64 delivered = 0;
+  for (u32 v = 0; v < 16; ++v) delivered += net.global_inbox(v).size();
+  // Last round's inboxes agree with the per-round slice of the invariant.
+  EXPECT_LE(delivered, u64{16});
+}
+
+TEST(CliqueNet, SentEqualsDeliveredPlusDropped) {
+  auto exchange = [](clique_net& net) {
+    for (u32 r = 0; r < 4; ++r) {
+      for (u32 i = 0; i < 8; ++i)
+        for (u32 j = 0; j < 8; ++j) {
+          clique_msg m;
+          m.src = i;
+          m.dst = j;
+          m.w[0] = r;
+          m.nw = 1;
+          net.send(m);
+        }
+      net.advance_round();
+    }
+  };
+  clique_net off(8);
+  exchange(off);
+  EXPECT_EQ(off.total_dropped(), 0u);
+  EXPECT_EQ(off.total_sent(), off.total_messages());
+  EXPECT_EQ(off.total_sent(), u64{4} * 64);
+
+  sim_options opts;
+  opts.faults.drop_global = 0.3;
+  opts.faults.fault_seed = 5;
+  clique_net on(8, opts);
+  exchange(on);
+  EXPECT_EQ(on.total_sent(), u64{4} * 64);
+  EXPECT_EQ(on.total_sent(), on.total_messages() + on.total_dropped());
+  EXPECT_GT(on.total_dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace hybrid
