@@ -8,7 +8,8 @@ summary). Scenario rows are matched by (scenario name, position among
 rows of that name), so repeated rows — e.g. one per thread count — pair
 up positionally. Two kinds of fields are treated differently:
 
-* perf fields (wall_ms, *_per_sec, allocs*, speedup, peak_mem*): always
+* perf fields (wall_ms, *_per_sec, allocs*, speedup, peak_mem*,
+  *latency*): always
   reported with a percent delta — these are *expected* to move between
   commits and across runner hardware;
 * everything else (rounds, messages, n, ...): deterministic simulation
@@ -28,7 +29,8 @@ import json
 import os
 import sys
 
-PERF_MARKERS = ("wall_ms", "_per_sec", "allocs", "speedup", "peak_mem")
+PERF_MARKERS = ("wall_ms", "_per_sec", "allocs", "speedup", "peak_mem",
+                "latency")
 
 
 def is_perf_field(name):

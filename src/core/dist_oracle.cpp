@@ -4,6 +4,11 @@
 // relaxation arithmetic, and the kInfDist edge handling line-for-line
 // identical to those loops is what makes query()/materialize() bit-identical
 // to the retired eager matrices — the differential suite asserts it.
+//
+// Everything is implemented on label_view — spans, not vectors — so the
+// owning dist_labels and core/oracle_store's mmap-ed labels run the same
+// machine code over either storage (the round-trip suite asserts the
+// bit-identity that design makes structural).
 #include "core/dist_oracle.hpp"
 
 #include <algorithm>
@@ -25,9 +30,9 @@ u64 ball_lookup(std::span<const exploration_entry> slice, u32 target) {
 
 }  // namespace
 
-u64 dist_labels::ball_dist(u32 u, u32 v) const { return ball_lookup(ball.reached(u), v); }
+u64 label_view::ball_dist(u32 u, u32 v) const { return ball_lookup(ball_of(u), v); }
 
-u64 dist_labels::query(u32 u, u32 v) const {
+u64 label_view::query(u32 u, u32 v) const {
   u64 best = ball_dist(u, v);
   if (scheme == label_scheme::kSkeletonRows) {
     // min_{s near u} d_h(u, s) + d(s, v) — the Theorem 1.1 assembly.
@@ -50,7 +55,7 @@ u64 dist_labels::query(u32 u, u32 v) const {
   return best;
 }
 
-u32 dist_labels::next_hop(u32 u, u32 v) const {
+u32 label_view::next_hop(u32 u, u32 v) const {
   HYB_REQUIRE(routes, "next_hop requires labels built with build_routes");
   HYB_REQUIRE(topo != nullptr, "next_hop requires the local graph");
   if (u == v) return u;
@@ -66,9 +71,9 @@ u32 dist_labels::next_hop(u32 u, u32 v) const {
   return best;
 }
 
-void dist_labels::row_into(u32 u, std::vector<u64>& out) const {
+void label_view::row_into(u32 u, std::vector<u64>& out) const {
   out.assign(n, kInfDist);
-  for (const exploration_entry& e : ball.reached(u)) out[e.source] = e.dist;
+  for (const exploration_entry& e : ball_of(u)) out[e.source] = e.dist;
   if (scheme == label_scheme::kSkeletonRows) {
     for (const source_distance& sd : gateways_of(u)) {
       const u64* lbl = skel.data() + u64{sd.source} * n;
@@ -90,15 +95,16 @@ void dist_labels::row_into(u32 u, std::vector<u64>& out) const {
   }
 }
 
-std::vector<u64> dist_labels::row(u32 u) const {
+std::vector<u64> label_view::row(u32 u) const {
   std::vector<u64> out;
   row_into(u, out);
   return out;
 }
 
 std::vector<std::vector<u64>> dist_labels::materialize(round_executor& ex) const {
+  const label_view v = view();
   std::vector<std::vector<u64>> dist(n);
-  ex.for_nodes(n, [&](u32 u) { row_into(u, dist[u]); });
+  ex.for_nodes(n, [&](u32 u) { v.row_into(u, dist[u]); });
   return dist;
 }
 

@@ -46,10 +46,63 @@ enum class label_scheme : u8 {
   kSkeletonPairs,
 };
 
+/// Storage-agnostic read-only view over one set of distance labels: every
+/// query path (query/next_hop/row and the assembly composition they share)
+/// is implemented ONCE against these spans, so the owning `dist_labels`
+/// (spans over its vectors) and the mmap-ed `oracle_store` view (spans into
+/// the mapped file) answer bit-identically by construction — there is no
+/// second implementation to drift.
+struct label_view {
+  u32 n = 0;
+  u32 n_s = 0;
+  u32 h = 0;
+  label_scheme scheme = label_scheme::kSkeletonRows;
+  bool routes = false;
+  /// Local graph for next_hop(); may be null (query/row never need it).
+  const graph* topo = nullptr;
+
+  std::span<const u64> ball_offsets;  ///< size n + 1
+  std::span<const exploration_entry> ball_entries;
+  std::span<const u64> gw_offsets;  ///< size n + 1
+  std::span<const source_distance> gateways;
+  std::span<const u32> skeleton_nodes;  ///< size n_s
+  std::span<const u64> skel;            ///< n_s × n rows or n_s × n_s pairs
+
+  std::span<const exploration_entry> ball_of(u32 u) const {
+    return {ball_entries.data() + ball_offsets[u],
+            ball_entries.data() + ball_offsets[u + 1]};
+  }
+  std::span<const source_distance> gateways_of(u32 u) const {
+    return {gateways.data() + gw_offsets[u], gateways.data() + gw_offsets[u + 1]};
+  }
+
+  /// d_h(u, v) from u's ball (kInfDist when v is outside it).
+  u64 ball_dist(u32 u, u32 v) const;
+
+  /// d(u, v) — the assembly composition for one pair; kInfDist when
+  /// unreachable. Bit-identical to the dense matrix entry.
+  u64 query(u32 u, u32 v) const;
+
+  /// u's neighbor on a shortest u→v path (u on the diagonal, ~0u when v is
+  /// unreachable), with the dense path's tie-break: the smallest qualifying
+  /// neighbor ID. Requires routes (the charged distance-vector round).
+  u32 next_hop(u32 u, u32 v) const;
+
+  /// Full distance row of u (the dense assembly loop for one u).
+  void row_into(u32 u, std::vector<u64>& out) const;
+  std::vector<u64> row(u32 u) const;
+
+  /// Total stored label entries (ball + gateway + skeleton-table words).
+  u64 label_entries() const {
+    return ball_entries.size() + gateways.size() + skel.size();
+  }
+};
+
 /// Per-node distance labels for all-pairs queries. Built natively by
 /// core/apsp and core/apsp_baseline; the dense apsp_result matrices are a
 /// materialize() adapter over this (sim_options{storage}, auto = materialize
-/// up to kDenseExplorationMaxNodes nodes).
+/// up to kDenseExplorationMaxNodes nodes). All query paths delegate to
+/// `view()` — the shared span accessor the mmap-ed oracle_store also uses.
 struct dist_labels {
   u32 n = 0;    ///< nodes of the underlying local graph
   u32 n_s = 0;  ///< skeleton size |V_S|
@@ -82,21 +135,40 @@ struct dist_labels {
     return {gateways.data() + gw_offsets[u], gateways.data() + gw_offsets[u + 1]};
   }
 
+  /// The span accessor over this label set — the single query
+  /// implementation, shared with oracle_store's mmap-ed labels.
+  label_view view() const {
+    label_view v;
+    v.n = n;
+    v.n_s = n_s;
+    v.h = h;
+    v.scheme = scheme;
+    v.routes = routes;
+    v.topo = topo;
+    v.ball_offsets = ball.offsets;
+    v.ball_entries = ball.entries;
+    v.gw_offsets = gw_offsets;
+    v.gateways = gateways;
+    v.skeleton_nodes = skeleton_nodes;
+    v.skel = skel;
+    return v;
+  }
+
   /// d_h(u, v) from u's ball (kInfDist when v is outside it).
-  u64 ball_dist(u32 u, u32 v) const;
+  u64 ball_dist(u32 u, u32 v) const { return view().ball_dist(u, v); }
 
   /// d(u, v) — the assembly composition for one pair; kInfDist when
   /// unreachable. Bit-identical to the dense matrix entry.
-  u64 query(u32 u, u32 v) const;
+  u64 query(u32 u, u32 v) const { return view().query(u, v); }
 
   /// u's neighbor on a shortest u→v path (u on the diagonal, ~0u when v is
   /// unreachable), with the dense path's tie-break: the smallest qualifying
   /// neighbor ID. Requires routes (the charged distance-vector round).
-  u32 next_hop(u32 u, u32 v) const;
+  u32 next_hop(u32 u, u32 v) const { return view().next_hop(u, v); }
 
   /// Full distance row of u (the dense assembly loop for one u).
-  void row_into(u32 u, std::vector<u64>& out) const;
-  std::vector<u64> row(u32 u) const;
+  void row_into(u32 u, std::vector<u64>& out) const { view().row_into(u, out); }
+  std::vector<u64> row(u32 u) const { return view().row(u); }
 
   /// Total stored label entries (ball + gateway + skeleton-table words) —
   /// the Õ(Σᵥ|ball_h(v)| + n_s·n) memory the oracle is bounded by.

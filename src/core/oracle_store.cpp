@@ -1,0 +1,435 @@
+// Save = stage each section's exact byte image (zeroing struct padding so
+// the file is deterministic down to the byte — the golden-file test depends
+// on it), checksum, then stream header + aligned slabs. Load = map the file
+// read-only and walk the validation layers strictly in order, so hostile
+// bytes are rejected by the earliest layer that can see the damage and no
+// later layer ever dereferences an unvalidated offset.
+#include "core/oracle_store.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "util/assert.hpp"
+
+#if defined(_WIN32)
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace hybrid {
+
+namespace {
+
+constexpr u64 kFnvPrime = 0x100000001b3ull;
+
+enum : u32 {
+  kSecBallOffsets = 0,
+  kSecBallEntries = 1,
+  kSecGwOffsets = 2,
+  kSecGateways = 3,
+  kSecSkeletonNodes = 4,
+  kSecSkel = 5,
+};
+
+u64 align_up(u64 x) {
+  return (x + kOracleSectionAlign - 1) / kOracleSectionAlign *
+         kOracleSectionAlign;
+}
+
+/// Expected skeleton-table element count for a header's scheme.
+u64 expected_skel_count(u32 n, u32 n_s, label_scheme scheme) {
+  return scheme == label_scheme::kSkeletonRows ? u64{n_s} * n : u64{n_s} * n_s;
+}
+
+/// A CSR offsets array is valid iff it starts at 0, is nondecreasing, and
+/// ends exactly at the entry arena's size — anything else would let a query
+/// index past the mapped slab.
+void validate_csr(std::span<const u64> offsets, u64 arena_count,
+                  const char* what) {
+  if (offsets.empty() || offsets.front() != 0)
+    throw oracle_store_error(store_errc::bad_csr,
+                             std::string(what) + " offsets must start at 0");
+  for (size_t i = 1; i < offsets.size(); ++i)
+    if (offsets[i] < offsets[i - 1] || offsets[i] > arena_count)
+      throw oracle_store_error(
+          store_errc::bad_csr,
+          std::string(what) + " offsets leave the entry arena");
+  if (offsets.back() != arena_count)
+    throw oracle_store_error(
+        store_errc::bad_csr,
+        std::string(what) + " offsets do not cover the entry arena");
+}
+
+}  // namespace
+
+const char* to_string(store_errc c) {
+  switch (c) {
+    case store_errc::io: return "oracle store I/O error";
+    case store_errc::truncated: return "oracle store file truncated";
+    case store_errc::bad_magic: return "oracle store bad magic";
+    case store_errc::bad_version: return "oracle store unsupported version";
+    case store_errc::bad_header: return "oracle store malformed header";
+    case store_errc::bad_section: return "oracle store bad section table";
+    case store_errc::bad_checksum: return "oracle store checksum mismatch";
+    case store_errc::bad_csr: return "oracle store invalid CSR structure";
+  }
+  return "oracle store error";
+}
+
+u64 fnv1a(std::span<const std::byte> bytes, u64 state) {
+  for (const std::byte b : bytes) {
+    state ^= static_cast<u64>(b);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+u64 graph_checksum(const graph& g) {
+  u64 state = 0xcbf29ce484222325ull;
+  const auto mix = [&state](u64 word) {
+    for (u32 i = 0; i < 8; ++i) {
+      state ^= (word >> (8 * i)) & 0xff;
+      state *= kFnvPrime;
+    }
+  };
+  mix(g.num_nodes());
+  for (u32 v = 0; v < g.num_nodes(); ++v)
+    for (const edge& e : g.neighbors(v)) {
+      mix(e.to);
+      mix(e.weight);
+    }
+  return state;
+}
+
+// ---- save -------------------------------------------------------------------
+
+void save_oracle(const dist_labels& lab, const std::string& path) {
+  HYB_REQUIRE(lab.ball.offsets.size() == u64{lab.n} + 1,
+              "ball offsets must have n + 1 entries");
+  HYB_REQUIRE(lab.gw_offsets.size() == u64{lab.n} + 1,
+              "gateway offsets must have n + 1 entries");
+  HYB_REQUIRE(lab.skeleton_nodes.size() == lab.n_s,
+              "skeleton node list must have n_s entries");
+  HYB_REQUIRE(lab.skel.empty() ||
+                  lab.skel.size() ==
+                      expected_skel_count(lab.n, lab.n_s, lab.scheme),
+              "skeleton table size inconsistent with the scheme");
+  HYB_REQUIRE(lab.ball.offsets.back() == lab.ball.entries.size(),
+              "ball CSR does not cover its entries");
+  HYB_REQUIRE(lab.gw_offsets.back() == lab.gateways.size(),
+              "gateway CSR does not cover its entries");
+
+  // source_distance carries 8 bytes of struct padding; stage the section
+  // with the padding zeroed so the file image is deterministic (the mmap
+  // view reads the same 24-byte layout back, padding ignored).
+  std::vector<std::byte> gw_bytes(lab.gateways.size() * sizeof(source_distance),
+                                  std::byte{0});
+  {
+    auto* out = reinterpret_cast<source_distance*>(gw_bytes.data());
+    for (size_t i = 0; i < lab.gateways.size(); ++i) {
+      out[i].source = lab.gateways[i].source;
+      out[i].dist = lab.gateways[i].dist;
+      out[i].via = lab.gateways[i].via;
+    }
+  }
+
+  const std::span<const std::byte> payloads[kOracleSectionCount] = {
+      std::as_bytes(std::span(lab.ball.offsets)),
+      std::as_bytes(std::span(lab.ball.entries)),
+      std::as_bytes(std::span(lab.gw_offsets)),
+      std::span<const std::byte>(gw_bytes),
+      std::as_bytes(std::span(lab.skeleton_nodes)),
+      std::as_bytes(std::span(lab.skel))};
+  const u64 counts[kOracleSectionCount] = {
+      lab.ball.offsets.size(), lab.ball.entries.size(), lab.gw_offsets.size(),
+      lab.gateways.size(),     lab.skeleton_nodes.size(), lab.skel.size()};
+
+  oracle_header hdr;
+  std::memset(&hdr, 0, sizeof(hdr));
+  hdr.magic = kOracleMagic;
+  hdr.version = kOracleFormatVersion;
+  hdr.header_bytes = sizeof(oracle_header);
+  hdr.n = lab.n;
+  hdr.n_s = lab.n_s;
+  hdr.h = lab.h;
+  hdr.scheme = static_cast<u8>(lab.scheme);
+  hdr.routes = lab.routes ? 1 : 0;
+  hdr.graph_checksum = lab.topo != nullptr ? graph_checksum(*lab.topo) : 0;
+
+  u64 cursor = align_up(sizeof(oracle_header));
+  u64 checksum = 0xcbf29ce484222325ull;
+  for (u32 s = 0; s < kOracleSectionCount; ++s) {
+    hdr.sections[s].offset = cursor;
+    hdr.sections[s].count = counts[s];
+    hdr.sections[s].bytes = payloads[s].size();
+    cursor = align_up(cursor + payloads[s].size());
+    checksum = fnv1a(payloads[s], checksum);
+  }
+  hdr.payload_checksum = checksum;
+  hdr.file_bytes = cursor;
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw oracle_store_error(store_errc::io, "cannot open " + path);
+  const auto emit = [&](const void* data, u64 bytes) {
+    if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
+      std::fclose(f);
+      throw oracle_store_error(store_errc::io, "short write to " + path);
+    }
+  };
+  static constexpr std::byte kZeros[kOracleSectionAlign] = {};
+  u64 written = 0;
+  const auto pad_to = [&](u64 target) {
+    HYB_INVARIANT(target >= written && target - written <= kOracleSectionAlign,
+                  "section layout drifted during write");
+    emit(kZeros, target - written);
+    written = target;
+  };
+  emit(&hdr, sizeof(hdr));
+  written = sizeof(hdr);
+  for (u32 s = 0; s < kOracleSectionCount; ++s) {
+    pad_to(hdr.sections[s].offset);
+    emit(payloads[s].data(), payloads[s].size());
+    written += payloads[s].size();
+  }
+  pad_to(hdr.file_bytes);
+  if (std::fclose(f) != 0)
+    throw oracle_store_error(store_errc::io, "close failed for " + path);
+}
+
+// ---- load -------------------------------------------------------------------
+
+namespace {
+
+/// The validated spans for one section, typed. Alignment is guaranteed by
+/// the 64-byte section alignment the table check enforces.
+template <class T>
+std::span<const T> section_span(const std::byte* base,
+                                const oracle_section& sec) {
+  return {reinterpret_cast<const T*>(base + sec.offset),
+          static_cast<size_t>(sec.count)};
+}
+
+void validate_section(const oracle_section& sec, u64 elem_size, u64 file_bytes,
+                      const char* what) {
+  if (sec.offset % kOracleSectionAlign != 0)
+    throw oracle_store_error(store_errc::bad_section,
+                             std::string(what) + " section misaligned");
+  if (sec.bytes != sec.count * elem_size)
+    throw oracle_store_error(
+        store_errc::bad_section,
+        std::string(what) + " section byte size inconsistent with its count");
+  if (sec.offset > file_bytes || sec.bytes > file_bytes - sec.offset)
+    throw oracle_store_error(store_errc::bad_section,
+                             std::string(what) + " section out of bounds");
+}
+
+}  // namespace
+
+mapped_oracle::~mapped_oracle() { reset(); }
+
+void mapped_oracle::reset() noexcept {
+  if (base_ != nullptr) {
+#if defined(_WIN32)
+    delete[] base_;
+#else
+    if (is_mmap_)
+      ::munmap(const_cast<std::byte*>(base_), static_cast<size_t>(mapped_bytes_));
+    else
+      delete[] base_;
+#endif
+  }
+  base_ = nullptr;
+  mapped_bytes_ = 0;
+  is_mmap_ = false;
+  view_ = label_view{};
+}
+
+mapped_oracle::mapped_oracle(mapped_oracle&& other) noexcept
+    : base_(other.base_),
+      mapped_bytes_(other.mapped_bytes_),
+      is_mmap_(other.is_mmap_),
+      header_(other.header_),
+      view_(other.view_) {
+  other.base_ = nullptr;
+  other.mapped_bytes_ = 0;
+  other.is_mmap_ = false;
+  other.view_ = label_view{};
+}
+
+mapped_oracle& mapped_oracle::operator=(mapped_oracle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    base_ = other.base_;
+    mapped_bytes_ = other.mapped_bytes_;
+    is_mmap_ = other.is_mmap_;
+    header_ = other.header_;
+    view_ = other.view_;
+    other.base_ = nullptr;
+    other.mapped_bytes_ = 0;
+    other.is_mmap_ = false;
+    other.view_ = label_view{};
+  }
+  return *this;
+}
+
+mapped_oracle mapped_oracle::load(const std::string& path) {
+  mapped_oracle out;
+
+#if defined(_WIN32)
+  // Heap fallback: identical validation and view semantics, just not
+  // zero-copy. (The POSIX branch below is the production path.)
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw oracle_store_error(store_errc::io, "cannot open " + path);
+  const u64 size = static_cast<u64>(f.tellg());
+  auto* buf = new std::byte[size > 0 ? size : 1];
+  f.seekg(0);
+  if (size > 0 && !f.read(reinterpret_cast<char*>(buf), size)) {
+    delete[] buf;
+    throw oracle_store_error(store_errc::io, "short read from " + path);
+  }
+  out.base_ = buf;
+  out.mapped_bytes_ = size;
+  out.is_mmap_ = false;
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw oracle_store_error(store_errc::io, "cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw oracle_store_error(store_errc::io, "cannot stat " + path);
+  }
+  const u64 size = static_cast<u64>(st.st_size);
+  if (size < sizeof(oracle_header)) {
+    ::close(fd);
+    throw oracle_store_error(store_errc::truncated,
+                             "file smaller than the header: " + path);
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED)
+    throw oracle_store_error(store_errc::io, "mmap failed for " + path);
+  out.base_ = static_cast<const std::byte*>(map);
+  out.mapped_bytes_ = size;
+  out.is_mmap_ = true;
+#endif
+
+  // ---- layer 1: size / magic / version / header ---------------------------
+  if (out.mapped_bytes_ < sizeof(oracle_header))
+    throw oracle_store_error(store_errc::truncated,
+                             "file smaller than the header: " + path);
+  oracle_header& hdr = out.header_;
+  std::memcpy(&hdr, out.base_, sizeof(hdr));
+  if (hdr.magic != kOracleMagic)
+    throw oracle_store_error(store_errc::bad_magic, path);
+  if (hdr.version != kOracleFormatVersion)
+    throw oracle_store_error(
+        store_errc::bad_version,
+        "file version " + std::to_string(hdr.version) + ", this build speaks " +
+            std::to_string(kOracleFormatVersion));
+  if (hdr.header_bytes != sizeof(oracle_header))
+    throw oracle_store_error(store_errc::bad_header,
+                             "header size mismatch in " + path);
+  if (hdr.scheme > static_cast<u8>(label_scheme::kSkeletonPairs) ||
+      hdr.routes > 1 || hdr.pad[0] != 0 || hdr.pad[1] != 0)
+    throw oracle_store_error(store_errc::bad_header,
+                             "invalid scheme/routes/pad bytes in " + path);
+  if (hdr.file_bytes > out.mapped_bytes_)
+    throw oracle_store_error(store_errc::truncated,
+                             "file shorter than its declared size: " + path);
+  if (hdr.file_bytes < out.mapped_bytes_)
+    throw oracle_store_error(store_errc::bad_header,
+                             "file longer than its declared size: " + path);
+  const label_scheme scheme = static_cast<label_scheme>(hdr.scheme);
+
+  // ---- layer 2: section table --------------------------------------------
+  static constexpr u64 kElemSizes[kOracleSectionCount] = {
+      sizeof(u64), sizeof(exploration_entry), sizeof(u64),
+      sizeof(source_distance), sizeof(u32), sizeof(u64)};
+  static constexpr const char* kSecNames[kOracleSectionCount] = {
+      "ball-offsets", "ball-entries", "gateway-offsets",
+      "gateways",     "skeleton-nodes", "skeleton-table"};
+  for (u32 s = 0; s < kOracleSectionCount; ++s)
+    validate_section(hdr.sections[s], kElemSizes[s], hdr.file_bytes,
+                     kSecNames[s]);
+  if (hdr.sections[kSecBallOffsets].count != u64{hdr.n} + 1 ||
+      hdr.sections[kSecGwOffsets].count != u64{hdr.n} + 1)
+    throw oracle_store_error(store_errc::bad_section,
+                             "offset sections must hold n + 1 entries");
+  if (hdr.sections[kSecSkeletonNodes].count != hdr.n_s)
+    throw oracle_store_error(store_errc::bad_section,
+                             "skeleton-node section must hold n_s entries");
+  const u64 skel_count = hdr.sections[kSecSkel].count;
+  if (skel_count != 0 &&
+      skel_count != expected_skel_count(hdr.n, hdr.n_s, scheme))
+    throw oracle_store_error(store_errc::bad_section,
+                             "skeleton table inconsistent with the scheme");
+
+  // ---- layer 3: payload checksum -----------------------------------------
+  u64 checksum = 0xcbf29ce484222325ull;
+  for (u32 s = 0; s < kOracleSectionCount; ++s)
+    checksum = fnv1a({out.base_ + hdr.sections[s].offset,
+                      static_cast<size_t>(hdr.sections[s].bytes)},
+                     checksum);
+  if (checksum != hdr.payload_checksum)
+    throw oracle_store_error(store_errc::bad_checksum, path);
+
+  // ---- layer 4: CSR structure --------------------------------------------
+  label_view& v = out.view_;
+  v.n = hdr.n;
+  v.n_s = hdr.n_s;
+  v.h = hdr.h;
+  v.scheme = scheme;
+  v.routes = hdr.routes != 0;
+  v.ball_offsets = section_span<u64>(out.base_, hdr.sections[kSecBallOffsets]);
+  v.ball_entries = section_span<exploration_entry>(
+      out.base_, hdr.sections[kSecBallEntries]);
+  v.gw_offsets = section_span<u64>(out.base_, hdr.sections[kSecGwOffsets]);
+  v.gateways =
+      section_span<source_distance>(out.base_, hdr.sections[kSecGateways]);
+  v.skeleton_nodes =
+      section_span<u32>(out.base_, hdr.sections[kSecSkeletonNodes]);
+  v.skel = section_span<u64>(out.base_, hdr.sections[kSecSkel]);
+
+  validate_csr(v.ball_offsets, v.ball_entries.size(), "ball");
+  validate_csr(v.gw_offsets, v.gateways.size(), "gateway");
+  for (const exploration_entry& e : v.ball_entries)
+    if (e.source >= v.n)
+      throw oracle_store_error(store_errc::bad_csr,
+                               "ball entry names a node outside [0, n)");
+  for (const source_distance& sd : v.gateways)
+    if (sd.source >= v.n_s)
+      throw oracle_store_error(
+          store_errc::bad_csr,
+          "gateway names a skeleton index outside [0, n_s)");
+  // Any gateway makes query() index the skeleton table, so the table must
+  // be present at its full per-scheme size.
+  if (!v.gateways.empty() && v.skel.empty())
+    throw oracle_store_error(store_errc::bad_csr,
+                             "gateways present but skeleton table empty");
+  if (!v.skel.empty())
+    for (const u32 s : v.skeleton_nodes)
+      if (s >= v.n)
+        throw oracle_store_error(store_errc::bad_csr,
+                                 "skeleton node outside [0, n)");
+  return out;
+}
+
+void mapped_oracle::attach_topology(const graph& g) {
+  HYB_REQUIRE(loaded(), "attach_topology needs a loaded oracle");
+  HYB_REQUIRE(g.num_nodes() == view_.n,
+              "topology node count differs from the stored labels");
+  HYB_REQUIRE(header_.graph_checksum == 0 ||
+                  graph_checksum(g) == header_.graph_checksum,
+              "topology checksum differs from the graph the labels were "
+              "built against");
+  view_.topo = &g;
+}
+
+}  // namespace hybrid

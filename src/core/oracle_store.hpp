@@ -1,0 +1,177 @@
+// Persistent, mmap-able distance-label oracle (the "serve the labels"
+// store, ROADMAP).
+//
+// A dist_labels oracle is three CSR slab families plus a handful of
+// scalars; this module gives it a write-once on-disk form so the oracle is
+// built once in the simulator and then served forever at memory-bus speed —
+// no simulator in the hot path. In the spirit of SNIPPETS.md's maph hybrid
+// store: a magic + versioned header with fixed-width fields, a section
+// offset table, then the label arenas laid out as 64-byte-aligned slabs in
+// exactly their in-memory layout, so load is a zero-copy mmap and the
+// returned label_view (core/dist_oracle.hpp) runs the SAME query
+// implementation the in-memory oracle runs — bit-identity is structural,
+// not re-implemented.
+//
+// File layout (version 1, little-endian, all offsets absolute):
+//
+//   oracle_header   magic "HYBORCLE", version, n/n_s/h/scheme/routes,
+//                   graph checksum (weights included), payload checksum,
+//                   section table (offset, element count, byte size) × 6
+//   section 0       ball offsets      u64 × (n+1)
+//   section 1       ball entries      exploration_entry (16 B) × Σ|ball|
+//   section 2       gateway offsets   u64 × (n+1)
+//   section 3       gateways          source_distance (24 B, padding
+//                                     zeroed at save) × Σ|near|
+//   section 4       skeleton nodes    u32 × n_s
+//   section 5       skeleton table    u64 × (n_s·n | n_s·n_s), per scheme
+//
+// Versioning policy (docs/ARCHITECTURE.md): any change to the header, the
+// section set, or an element layout bumps kOracleFormatVersion; old files
+// are rejected with store_errc::bad_version, never reinterpreted. The
+// committed golden file (tests/data/) makes an accidental layout change a
+// test failure instead of a silent corruption.
+//
+// Every malformed input — truncated file, flipped magic, wrong version,
+// out-of-bounds section offsets, CSR indices past their arena — is rejected
+// at load with a typed oracle_store_error (no UB on hostile bytes; the
+// fuzz/corruption suite in tests/oracle_store_test.cpp drives each case).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "core/dist_oracle.hpp"
+
+namespace hybrid {
+
+inline constexpr u64 kOracleMagic = 0x454C43524F425948ull;  // "HYBORCLE" LE
+inline constexpr u32 kOracleFormatVersion = 1;
+inline constexpr u32 kOracleSectionCount = 6;
+inline constexpr u64 kOracleSectionAlign = 64;
+
+/// One entry of the header's section table.
+struct oracle_section {
+  u64 offset;  ///< absolute byte offset, kOracleSectionAlign-aligned
+  u64 count;   ///< element count
+  u64 bytes;   ///< count × element size
+};
+
+/// The fixed-size file header. Standard layout, no implicit padding (the
+/// static_asserts below pin the exact byte image the golden file commits).
+struct oracle_header {
+  u64 magic;
+  u32 version;
+  u32 header_bytes;  ///< sizeof(oracle_header), rejects layout mismatch
+  u64 file_bytes;    ///< total file size, rejects truncation
+  u32 n;
+  u32 n_s;
+  u32 h;
+  u8 scheme;  ///< label_scheme as u8
+  u8 routes;  ///< 0/1: next_hop() servable after attach_topology()
+  u8 pad[2];  ///< zero
+  u64 graph_checksum;    ///< fnv1a over the topology; 0 = no graph at save
+  u64 payload_checksum;  ///< fnv1a over all section payload bytes, in order
+  oracle_section sections[kOracleSectionCount];
+};
+static_assert(sizeof(oracle_header) ==
+                  56 + kOracleSectionCount * sizeof(oracle_section),
+              "oracle_header grew implicit padding — fix the layout AND bump "
+              "kOracleFormatVersion");
+static_assert(std::is_trivially_copyable_v<oracle_header>);
+static_assert(sizeof(exploration_entry) == 16 &&
+              std::is_trivially_copyable_v<exploration_entry>);
+static_assert(sizeof(source_distance) == 24 &&
+              std::is_trivially_copyable_v<source_distance>);
+
+/// Why a load was rejected. Each maps to exactly one validation layer so
+/// the corruption suite can assert the loader fails for the RIGHT reason.
+enum class store_errc {
+  io,            ///< open/stat/map/write failed
+  truncated,     ///< file shorter than the header or its declared size
+  bad_magic,     ///< not an oracle store file
+  bad_version,   ///< format version this build does not speak
+  bad_header,    ///< header fields inconsistent (scheme byte, sizes, ...)
+  bad_section,   ///< section table entry out of bounds / misaligned
+  bad_checksum,  ///< payload bytes do not match the header checksum
+  bad_csr,       ///< CSR structure invalid (offsets past arena, bad index)
+};
+
+const char* to_string(store_errc c);
+
+class oracle_store_error : public std::runtime_error {
+ public:
+  oracle_store_error(store_errc code, const std::string& what)
+      : std::runtime_error(std::string(to_string(code)) + ": " + what),
+        code_(code) {}
+  store_errc code() const { return code_; }
+
+ private:
+  store_errc code_;
+};
+
+/// FNV-1a 64 over a byte range, chainable via `state` (exposed so tests can
+/// re-seal a deliberately corrupted payload and reach the post-checksum
+/// validation layers).
+u64 fnv1a(std::span<const std::byte> bytes,
+          u64 state = 0xcbf29ce484222325ull);
+
+/// Checksum of a local topology (n, edge endpoints, weights — the inputs
+/// next_hop composition depends on). Stored in the header at save; verified
+/// by mapped_oracle::attach_topology so labels are never composed with a
+/// graph they were not built from.
+u64 graph_checksum(const graph& g);
+
+/// Write-once save. `lab.topo`, when set, contributes the graph checksum
+/// (pass the labels exactly as the core built them). Shape violations
+/// (offset arrays of the wrong size, a skeleton table inconsistent with the
+/// scheme) throw std::invalid_argument; I/O failure throws
+/// oracle_store_error{store_errc::io}.
+void save_oracle(const dist_labels& lab, const std::string& path);
+
+/// A loaded, validated, read-only oracle backed by an mmap of the file
+/// (zero-copy: the label arenas are served straight from the page cache).
+/// Safe for any number of concurrent reader threads — the view is
+/// immutable, and the torture suite runs it under TSAN.
+class mapped_oracle {
+ public:
+  mapped_oracle() = default;
+  ~mapped_oracle();
+  mapped_oracle(mapped_oracle&& other) noexcept;
+  mapped_oracle& operator=(mapped_oracle&& other) noexcept;
+  mapped_oracle(const mapped_oracle&) = delete;
+  mapped_oracle& operator=(const mapped_oracle&) = delete;
+
+  /// Validate and map `path`. Throws oracle_store_error (see store_errc for
+  /// the layers, checked in order: existence/size → magic → version →
+  /// header → section table → payload checksum → CSR structure).
+  static mapped_oracle load(const std::string& path);
+
+  bool loaded() const { return base_ != nullptr; }
+  const oracle_header& header() const { return header_; }
+
+  /// The span accessor — same type, same implementation as
+  /// dist_labels::view(). next_hop() additionally needs attach_topology().
+  const label_view& view() const { return view_; }
+
+  /// Wire the local graph in for next_hop(); rejects a graph whose
+  /// checksum differs from the one the labels were built against.
+  void attach_topology(const graph& g);
+
+  // Convenience forwards for callers that never touch the view directly.
+  u64 query(u32 u, u32 v) const { return view_.query(u, v); }
+  u32 next_hop(u32 u, u32 v) const { return view_.next_hop(u, v); }
+  std::vector<u64> row(u32 u) const { return view_.row(u); }
+
+ private:
+  void reset() noexcept;
+
+  const std::byte* base_ = nullptr;
+  u64 mapped_bytes_ = 0;
+  bool is_mmap_ = false;  ///< false: heap fallback (non-POSIX platforms)
+  oracle_header header_{};
+  label_view view_{};
+};
+
+}  // namespace hybrid

@@ -180,6 +180,60 @@ TEST(DistOracleEdge, StorageResolution) {
   ASSERT_EQ(label_only.labels.materialize(), dense.dist);
 }
 
+// ---- materialize() with unreachable pairs (explicit ∞ handling) -------------
+
+TEST(DistOracleMaterialize, DisconnectedInfinityRowsScheme) {
+  // materialize() on labels with unreachable pairs: every cross-component
+  // entry must come out as EXACTLY kInfDist (the composition saturates at
+  // the ball's ∞ — no wraparound, no kInfDist-plus-a-leg artifacts), and
+  // the next-hop matrix must keep ~0 there.
+  std::vector<edge_spec> edges{{0, 1, 2}, {1, 2, 1}, {3, 4, 5},
+                               {4, 5, 1}, {3, 5, 4}};
+  const graph g = graph::from_edges(8, edges);  // + isolated 6, 7
+  const apsp_result lab = hybrid_apsp_exact(
+      g, cfg(), 13, /*build_routes=*/true,
+      opts(1, exploration_path::kAuto, result_storage::kLabels));
+  round_executor ex;
+  const auto dist = lab.labels.materialize(ex);
+  const auto hops = lab.labels.materialize_next_hops(dist, ex);
+  const auto truth = apsp_reference(g);
+  for (u32 u = 0; u < 8; ++u)
+    for (u32 v = 0; v < 8; ++v) {
+      ASSERT_EQ(dist[u][v], truth[u][v]) << u << "->" << v;
+      if (truth[u][v] == kInfDist) {
+        ASSERT_EQ(dist[u][v], kInfDist) << u << "->" << v;
+        ASSERT_EQ(hops[u][v], ~u32{0}) << u << "->" << v;
+      }
+    }
+  // The component structure is what makes this a real ∞ test.
+  ASSERT_EQ(dist[0][3], kInfDist);
+  ASSERT_EQ(dist[6][7], kInfDist);
+  ASSERT_EQ(dist[6][6], 0u);
+}
+
+TEST(DistOracleMaterialize, DisconnectedInfinityPairsScheme) {
+  // Same property through the baseline's two-sided composition, whose
+  // skip-at-exactly-∞ filter is the line that keeps ∞ from leaking a
+  // finite gateway leg into an unreachable pair.
+  std::vector<edge_spec> edges{{0, 1, 1}, {1, 2, 3}, {3, 4, 2}};
+  const graph g = graph::from_edges(7, edges);  // + isolated 5, 6
+  const apsp_baseline_result lab = baseline_apsp_ahkss(
+      g, cfg(), 17, opts(1, exploration_path::kSparse, result_storage::kLabels));
+  ASSERT_EQ(lab.labels.scheme, label_scheme::kSkeletonPairs);
+  round_executor ex;
+  const auto dist = lab.labels.materialize(ex);
+  const auto truth = apsp_reference(g);
+  for (u32 u = 0; u < 7; ++u)
+    for (u32 v = 0; v < 7; ++v) {
+      ASSERT_EQ(dist[u][v], truth[u][v]) << u << "->" << v;
+      if (truth[u][v] == kInfDist) {
+        ASSERT_EQ(dist[u][v], kInfDist) << u << "->" << v;
+      }
+    }
+  ASSERT_EQ(dist[2][3], kInfDist);
+  ASSERT_EQ(dist[5][0], kInfDist);
+}
+
 // ---- the baseline's two-sided labels ----------------------------------------
 
 TEST(DistOracleBaseline, QueryMatchesDenseAndDijkstra) {

@@ -1,0 +1,532 @@
+// Serialization battery for the persistent oracle store
+// (core/oracle_store.hpp), `ctest -L store`:
+//
+//   * property-based round trips — randomized ER / grid / star /
+//     bounded-degree / disconnected graphs × both label schemes: save →
+//     mmap-load → query/next_hop/row bit-identical to the in-memory oracle,
+//     compared from 1, 2, and 8 concurrent reader threads;
+//   * corruption/fuzz cases — truncation, flipped magic, wrong version,
+//     out-of-bounds section offsets, CSR indices past the arena: each file
+//     must be rejected with the RIGHT typed store_errc, never UB (the suite
+//     runs in the TSAN CI leg);
+//   * a concurrent-reader torture test — 8 threads hammering one mapped
+//     view with seeded request mixes, per-thread result digests
+//     seed-deterministic and equal to an in-memory replay;
+//   * a golden file — tests/data/golden_oracle_v1.bin is read bit-exactly
+//     and byte-compared against a fresh save of the same labels, so ANY
+//     format change forces a conscious kOracleFormatVersion bump
+//     (regenerate deliberately with HYBRID_REGEN_ORACLE_GOLDEN=1).
+#include "core/oracle_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "core/apsp.hpp"
+#include "core/apsp_baseline.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace hybrid {
+namespace {
+
+model_config cfg() { return model_config{}; }
+
+// Pid-qualified: ctest -j runs each test case as its own process, so a
+// fixed name would race between concurrently running cases.
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "oracle_store_" + name + "_" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+std::vector<std::byte> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(f.good()) << path;
+  std::vector<std::byte> bytes(static_cast<size_t>(f.tellg()));
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good()) << path;
+}
+
+/// Recompute the payload checksum after a deliberate payload patch, so the
+/// load reaches the validation layers BEHIND the checksum (bad_csr & co).
+void reseal_checksum(std::vector<std::byte>& bytes) {
+  auto* hdr = reinterpret_cast<oracle_header*>(bytes.data());
+  u64 checksum = 0xcbf29ce484222325ull;
+  for (u32 s = 0; s < kOracleSectionCount; ++s)
+    checksum = fnv1a({bytes.data() + hdr->sections[s].offset,
+                      static_cast<size_t>(hdr->sections[s].bytes)},
+                     checksum);
+  hdr->payload_checksum = checksum;
+}
+
+store_errc load_error(const std::string& path) {
+  try {
+    (void)mapped_oracle::load(path);
+  } catch (const oracle_store_error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "load unexpectedly succeeded: " << path;
+  return store_errc::io;
+}
+
+/// Compare the mapped view against the in-memory labels over every pair,
+/// the comparison loop partitioned across `threads` concurrent readers
+/// (mismatches counted atomically; gtest assertions stay on the main
+/// thread).
+void expect_identical(const dist_labels& lab, const mapped_oracle& m,
+                      u32 threads) {
+  const label_view& mv = m.view();
+  ASSERT_EQ(mv.n, lab.n);
+  ASSERT_EQ(mv.n_s, lab.n_s);
+  ASSERT_EQ(mv.h, lab.h);
+  ASSERT_EQ(mv.scheme, lab.scheme);
+  ASSERT_EQ(mv.routes, lab.routes);
+  ASSERT_EQ(mv.label_entries(), lab.label_entries());
+  std::atomic<u64> mismatches{0};
+  std::vector<std::thread> pool;
+  const u32 chunk = static_cast<u32>(ceil_div(lab.n, threads));
+  for (u32 t = 0; t < threads; ++t) {
+    const u32 lo = std::min(lab.n, t * chunk);
+    const u32 hi = std::min(lab.n, lo + chunk);
+    pool.emplace_back([&, lo, hi] {
+      u64 bad = 0;
+      std::vector<u64> mine, theirs;
+      for (u32 u = lo; u < hi; ++u) {
+        lab.row_into(u, mine);
+        mv.row_into(u, theirs);
+        if (mine != theirs) ++bad;
+        for (u32 v = 0; v < lab.n; ++v) {
+          if (mv.query(u, v) != lab.query(u, v)) ++bad;
+          if (lab.routes && mv.next_hop(u, v) != lab.next_hop(u, v)) ++bad;
+        }
+      }
+      mismatches += bad;
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(mismatches.load(), 0u) << "threads=" << threads;
+}
+
+/// Build (per scheme), save, mmap-load, attach the graph, and compare at
+/// reader-thread counts {1, 2, 8}.
+void round_trip(const graph& g, u64 seed, label_scheme scheme,
+                const std::string& name) {
+  sim_options o;
+  o.storage = result_storage::kLabels;
+  dist_labels lab;
+  if (scheme == label_scheme::kSkeletonRows)
+    lab = hybrid_apsp_exact(g, cfg(), seed, /*build_routes=*/true, o).labels;
+  else
+    lab = baseline_apsp_ahkss(g, cfg(), seed, o).labels;
+  const std::string path = tmp_path(name);
+  save_oracle(lab, path);
+  mapped_oracle m = mapped_oracle::load(path);
+  if (lab.routes) m.attach_topology(g);
+  for (u32 threads : {1u, 2u, 8u}) expect_identical(lab, m, threads);
+  std::remove(path.c_str());
+}
+
+// ---- property-based round trips ---------------------------------------------
+
+TEST(OracleStoreRoundTrip, ErdosRenyiRandomizedBothSchemes) {
+  for (u64 seed : {61u, 62u, 63u}) {
+    rng r(seed);
+    const u32 n = 64 + static_cast<u32>(r.next_below(56));
+    const double deg = 3.0 + r.next_double() * 3.0;
+    const u64 max_w = r.next_bool(0.5) ? 1 : 9;
+    const graph g = gen::erdos_renyi_connected(n, deg, max_w, seed);
+    round_trip(g, seed, label_scheme::kSkeletonRows, "er_rows");
+    round_trip(g, seed, label_scheme::kSkeletonPairs, "er_pairs");
+  }
+}
+
+TEST(OracleStoreRoundTrip, Grid) {
+  round_trip(gen::grid(8, 8, 6, 29), 29, label_scheme::kSkeletonRows, "grid");
+}
+
+TEST(OracleStoreRoundTrip, Star) {
+  round_trip(gen::balanced_tree(36, 35, 4, 17), 17,
+             label_scheme::kSkeletonRows, "star");
+}
+
+TEST(OracleStoreRoundTrip, BoundedDegree) {
+  round_trip(gen::bounded_degree(64, 3, 5, 41), 41,
+             label_scheme::kSkeletonRows, "bdeg");
+}
+
+TEST(OracleStoreRoundTrip, DisconnectedBothSchemes) {
+  // Two components plus isolated vertices: the saved labels must reproduce
+  // every kInfDist pair and every ~0 next hop exactly.
+  std::vector<edge_spec> edges{{0, 1, 2}, {1, 2, 1}, {2, 3, 3},
+                               {4, 5, 1}, {5, 6, 2}, {4, 6, 2}};
+  const graph g = graph::from_edges(9, edges);
+  round_trip(g, 3, label_scheme::kSkeletonRows, "disc_rows");
+  round_trip(g, 3, label_scheme::kSkeletonPairs, "disc_pairs");
+}
+
+// ---- edge cases -------------------------------------------------------------
+
+TEST(OracleStoreEdge, EmptyGraphRoundTrips) {
+  dist_labels lab;
+  lab.n = 0;
+  lab.ball.offsets = {0};
+  lab.gw_offsets = {0};
+  const std::string path = tmp_path("empty");
+  save_oracle(lab, path);
+  const mapped_oracle m = mapped_oracle::load(path);
+  EXPECT_EQ(m.view().n, 0u);
+  EXPECT_EQ(m.view().n_s, 0u);
+  EXPECT_EQ(m.view().label_entries(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(OracleStoreEdge, SingletonRoundTrips) {
+  dist_labels lab;
+  lab.n = 1;
+  lab.ball.offsets = {0, 1};
+  lab.ball.entries = {{0, 0, 0}};
+  lab.gw_offsets = {0, 0};
+  const std::string path = tmp_path("singleton");
+  save_oracle(lab, path);
+  const mapped_oracle m = mapped_oracle::load(path);
+  EXPECT_EQ(m.query(0, 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(OracleStoreEdge, HZeroBallOnlyRoundTrips) {
+  // h = 0 labels: every ball is the node itself, no gateways, no skeleton
+  // table — the store must carry the degenerate shape unchanged.
+  dist_labels lab;
+  lab.n = 3;
+  lab.h = 0;
+  lab.ball.offsets = {0, 1, 2, 3};
+  lab.ball.entries = {{0, 0, 0}, {0, 1, 1}, {0, 2, 2}};
+  lab.gw_offsets = {0, 0, 0, 0};
+  const std::string path = tmp_path("hzero");
+  save_oracle(lab, path);
+  const mapped_oracle m = mapped_oracle::load(path);
+  for (u32 u = 0; u < 3; ++u)
+    for (u32 v = 0; v < 3; ++v)
+      EXPECT_EQ(m.query(u, v), u == v ? 0 : kInfDist) << u << "->" << v;
+  EXPECT_EQ(m.row(1), (std::vector<u64>{kInfDist, 0, kInfDist}));
+  std::remove(path.c_str());
+}
+
+TEST(OracleStoreEdge, SaveRejectsMalformedLabels) {
+  dist_labels lab;
+  lab.n = 2;  // offsets missing → shape violation, typed as invalid_argument
+  EXPECT_THROW(save_oracle(lab, tmp_path("malformed")), std::invalid_argument);
+}
+
+TEST(OracleStoreEdge, AttachTopologyChecksRoundTripGraph) {
+  const graph g = gen::erdos_renyi_connected(48, 4.0, 6, 91);
+  sim_options o;
+  o.storage = result_storage::kLabels;
+  const apsp_result res = hybrid_apsp_exact(g, cfg(), 91, true, o);
+  const std::string path = tmp_path("attach");
+  save_oracle(res.labels, path);
+  mapped_oracle m = mapped_oracle::load(path);
+  // next_hop before attach: the view has routes but no graph.
+  EXPECT_THROW((void)m.next_hop(0, 1), std::invalid_argument);
+  // A different graph (same n, different weights) is rejected.
+  const graph other = gen::erdos_renyi_connected(48, 4.0, 6, 92);
+  EXPECT_THROW(m.attach_topology(other), std::invalid_argument);
+  // A wrong-n graph is rejected.
+  const graph small = gen::path(5, 2, 3);
+  EXPECT_THROW(m.attach_topology(small), std::invalid_argument);
+  // The original graph attaches, and next_hop serves.
+  m.attach_topology(g);
+  for (u32 v : {1u, 17u, 40u})
+    EXPECT_EQ(m.next_hop(0, v), res.labels.next_hop(0, v));
+  std::remove(path.c_str());
+}
+
+// ---- corruption / fuzz ------------------------------------------------------
+
+class OracleStoreCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const graph g = gen::erdos_renyi_connected(40, 4.0, 5, 71);
+    sim_options o;
+    o.storage = result_storage::kLabels;
+    lab_ = hybrid_apsp_exact(g, cfg(), 71, true, o).labels;
+    lab_.topo = nullptr;  // the corruption cases never attach a graph
+    path_ = tmp_path("corrupt");
+    save_oracle(lab_, path_);
+    bytes_ = read_file(path_);
+    ASSERT_GE(bytes_.size(), sizeof(oracle_header));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  oracle_header* header() {
+    return reinterpret_cast<oracle_header*>(bytes_.data());
+  }
+  /// Write the (possibly patched) bytes and return the typed load error.
+  store_errc load_patched() {
+    write_file(path_, bytes_);
+    return load_error(path_);
+  }
+
+  dist_labels lab_;
+  std::string path_;
+  std::vector<std::byte> bytes_;
+};
+
+TEST_F(OracleStoreCorruption, PristineBytesStillLoad) {
+  write_file(path_, bytes_);
+  const mapped_oracle m = mapped_oracle::load(path_);
+  EXPECT_EQ(m.view().n, lab_.n);
+}
+
+TEST_F(OracleStoreCorruption, TruncatedBelowHeader) {
+  bytes_.resize(sizeof(oracle_header) / 2);
+  EXPECT_EQ(load_patched(), store_errc::truncated);
+}
+
+TEST_F(OracleStoreCorruption, TruncatedMidPayload) {
+  bytes_.resize(bytes_.size() - 1);
+  EXPECT_EQ(load_patched(), store_errc::truncated);
+}
+
+TEST_F(OracleStoreCorruption, TrailingGarbageRejected) {
+  bytes_.push_back(std::byte{0x5a});
+  EXPECT_EQ(load_patched(), store_errc::bad_header);
+}
+
+TEST_F(OracleStoreCorruption, FlippedMagic) {
+  header()->magic ^= 0xff;
+  EXPECT_EQ(load_patched(), store_errc::bad_magic);
+}
+
+TEST_F(OracleStoreCorruption, WrongVersion) {
+  header()->version = kOracleFormatVersion + 1;
+  EXPECT_EQ(load_patched(), store_errc::bad_version);
+}
+
+TEST_F(OracleStoreCorruption, BadSchemeByte) {
+  header()->scheme = 7;
+  EXPECT_EQ(load_patched(), store_errc::bad_header);
+}
+
+TEST_F(OracleStoreCorruption, SectionOffsetOutOfBounds) {
+  header()->sections[1].offset = header()->file_bytes + kOracleSectionAlign;
+  EXPECT_EQ(load_patched(), store_errc::bad_section);
+}
+
+TEST_F(OracleStoreCorruption, SectionCountInconsistentWithBytes) {
+  header()->sections[1].count += 3;
+  EXPECT_EQ(load_patched(), store_errc::bad_section);
+}
+
+TEST_F(OracleStoreCorruption, SectionMisaligned) {
+  header()->sections[2].offset += 8;
+  EXPECT_EQ(load_patched(), store_errc::bad_section);
+}
+
+TEST_F(OracleStoreCorruption, OffsetTableWrongLength) {
+  header()->sections[0].count -= 1;
+  header()->sections[0].bytes -= sizeof(u64);
+  EXPECT_EQ(load_patched(), store_errc::bad_section);
+}
+
+TEST_F(OracleStoreCorruption, PayloadBitFlip) {
+  bytes_[header()->sections[1].offset + 5] ^= std::byte{0x10};
+  EXPECT_EQ(load_patched(), store_errc::bad_checksum);
+}
+
+TEST_F(OracleStoreCorruption, CsrOffsetPastArenaEnd) {
+  // Patch one ball offset beyond the entry arena and re-seal the checksum:
+  // the damage must be caught by the CSR layer, not by luck.
+  auto* offsets =
+      reinterpret_cast<u64*>(bytes_.data() + header()->sections[0].offset);
+  offsets[lab_.n / 2] = header()->sections[1].count + 5;
+  reseal_checksum(bytes_);
+  EXPECT_EQ(load_patched(), store_errc::bad_csr);
+}
+
+TEST_F(OracleStoreCorruption, CsrOffsetsDecreasing) {
+  auto* offsets =
+      reinterpret_cast<u64*>(bytes_.data() + header()->sections[2].offset);
+  if (offsets[1] == 0) offsets[1] = 1;  // force non-monotone vs offsets[0]=0…
+  offsets[2] = 0;                       // …or a later decrease
+  reseal_checksum(bytes_);
+  EXPECT_EQ(load_patched(), store_errc::bad_csr);
+}
+
+TEST_F(OracleStoreCorruption, GatewaySkeletonIndexOutOfRange) {
+  auto* gws = reinterpret_cast<source_distance*>(bytes_.data() +
+                                                 header()->sections[3].offset);
+  ASSERT_GT(header()->sections[3].count, 0u);
+  gws[0].source = lab_.n_s + 7;
+  reseal_checksum(bytes_);
+  EXPECT_EQ(load_patched(), store_errc::bad_csr);
+}
+
+TEST_F(OracleStoreCorruption, BallEntryNodeOutOfRange) {
+  auto* entries = reinterpret_cast<exploration_entry*>(
+      bytes_.data() + header()->sections[1].offset);
+  entries[0].source = lab_.n + 100;
+  reseal_checksum(bytes_);
+  EXPECT_EQ(load_patched(), store_errc::bad_csr);
+}
+
+TEST(OracleStoreErrors, MissingFileIsIo) {
+  EXPECT_EQ(load_error(tmp_path("never_written")), store_errc::io);
+}
+
+TEST(OracleStoreErrors, ErrcStringsAreDistinct) {
+  const store_errc all[] = {store_errc::io,          store_errc::truncated,
+                            store_errc::bad_magic,   store_errc::bad_version,
+                            store_errc::bad_header,  store_errc::bad_section,
+                            store_errc::bad_checksum, store_errc::bad_csr};
+  for (const store_errc a : all)
+    for (const store_errc b : all)
+      if (a != b) {
+        EXPECT_STRNE(to_string(a), to_string(b));
+      }
+}
+
+// ---- concurrent-reader torture ----------------------------------------------
+
+/// One thread's seeded request mix against a label_view, folded into a
+/// digest. Pure function of (view contents, seed) — the torture test
+/// asserts the digest is identical for the in-memory and mapped views and
+/// across repeated concurrent runs.
+u64 replay_digest(const label_view& v, u64 seed, u32 requests) {
+  rng r(seed);
+  u64 digest = 0xcbf29ce484222325ull;
+  const auto fold = [&digest](u64 word) {
+    digest ^= word;
+    digest *= 0x100000001b3ull;
+  };
+  for (u32 i = 0; i < requests; ++i) {
+    const u32 u = static_cast<u32>(r.next_below(v.n));
+    const u32 w = static_cast<u32>(r.next_below(v.n));
+    const u64 op = r.next_below(10);
+    if (op < 6) {
+      fold(v.query(u, w));
+    } else if (op < 9) {
+      fold(v.next_hop(u, w));
+    } else {
+      // Greedy route u → w along next hops; with exact labels this must
+      // terminate in ≤ n hops (docs: remaining distance strictly drops).
+      u32 at = u;
+      u64 hops = 0;
+      while (at != w && hops <= v.n) {
+        const u32 nh = v.next_hop(at, w);
+        if (nh == ~u32{0}) break;
+        at = nh;
+        ++hops;
+      }
+      fold(hops);
+      fold(at);
+    }
+  }
+  return digest;
+}
+
+TEST(OracleStoreTorture, EightThreadsSeedDeterministicDigests) {
+  const graph g = gen::erdos_renyi_connected(192, 4.5, 7, 55);
+  sim_options o;
+  o.storage = result_storage::kLabels;
+  const apsp_result res = hybrid_apsp_exact(g, cfg(), 55, true, o);
+  const std::string path = tmp_path("torture");
+  save_oracle(res.labels, path);
+  mapped_oracle m = mapped_oracle::load(path);
+  m.attach_topology(g);
+
+  constexpr u32 kThreads = 8;
+  constexpr u32 kRequests = 12000;
+  // Expected digests: the same per-thread streams replayed sequentially
+  // against the in-memory labels.
+  u64 expected[kThreads];
+  for (u32 t = 0; t < kThreads; ++t)
+    expected[t] = replay_digest(res.labels.view(), 9000 + t, kRequests);
+
+  for (int run = 0; run < 2; ++run) {
+    u64 got[kThreads] = {};
+    std::vector<std::thread> pool;
+    for (u32 t = 0; t < kThreads; ++t)
+      pool.emplace_back([&m, &got, t] {
+        got[t] = replay_digest(m.view(), 9000 + t, kRequests);
+      });
+    for (auto& th : pool) th.join();
+    for (u32 t = 0; t < kThreads; ++t)
+      EXPECT_EQ(got[t], expected[t]) << "thread " << t << " run " << run;
+  }
+  std::remove(path.c_str());
+}
+
+// ---- golden file ------------------------------------------------------------
+
+/// Hand-built labels with fully pinned contents: no algorithm, no RNG, no
+/// floating point — the committed bytes depend on the serializer alone.
+dist_labels golden_labels() {
+  dist_labels lab;
+  lab.n = 4;
+  lab.n_s = 2;
+  lab.h = 2;
+  lab.scheme = label_scheme::kSkeletonRows;
+  lab.routes = false;
+  lab.ball.offsets = {0, 2, 4, 6, 8};
+  lab.ball.entries = {{0, 0, 0}, {3, 1, 1},   // node 0: self, node 1 at 3
+                      {3, 0, 0}, {0, 1, 1},   // node 1
+                      {0, 2, 2}, {5, 3, 3},   // node 2
+                      {5, 2, 2}, {0, 3, 3}};  // node 3
+  lab.gw_offsets = {0, 1, 2, 3, 4};
+  lab.gateways = {{0, 3, 1}, {0, 0, 1}, {1, 0, 2}, {1, 5, 2}};
+  lab.skeleton_nodes = {1, 2};
+  lab.skel = {3, 0, 9, 14,   // d(s=0 (node 1), ·)
+              12, 9, 0, 5};  // d(s=1 (node 2), ·)
+  return lab;
+}
+
+TEST(OracleStoreGolden, CommittedFileReadsBitExactly) {
+  const std::string golden = std::string(HYBRID_TEST_DATA_DIR) +
+                             "/golden_oracle_v1.bin";
+  const dist_labels lab = golden_labels();
+  if (std::getenv("HYBRID_REGEN_ORACLE_GOLDEN") != nullptr)
+    save_oracle(lab, golden);
+
+  // Today's serializer must reproduce the committed bytes exactly…
+  const std::string fresh = tmp_path("golden_fresh");
+  save_oracle(lab, fresh);
+  const std::vector<std::byte> fresh_bytes = read_file(fresh);
+  const std::vector<std::byte> golden_bytes = read_file(golden);
+  ASSERT_FALSE(golden_bytes.empty())
+      << "golden file missing — regenerate deliberately with "
+         "HYBRID_REGEN_ORACLE_GOLDEN=1 and bump kOracleFormatVersion if the "
+         "format changed";
+  EXPECT_EQ(fresh_bytes, golden_bytes)
+      << "serialized bytes changed — bump kOracleFormatVersion and "
+         "regenerate the golden file deliberately";
+  std::remove(fresh.c_str());
+
+  // …and today's loader must serve the committed file verbatim.
+  const mapped_oracle m = mapped_oracle::load(golden);
+  EXPECT_EQ(m.header().version, kOracleFormatVersion);
+  EXPECT_EQ(m.view().n, lab.n);
+  EXPECT_EQ(m.view().n_s, lab.n_s);
+  EXPECT_EQ(m.view().h, lab.h);
+  for (u32 u = 0; u < lab.n; ++u)
+    for (u32 v = 0; v < lab.n; ++v)
+      EXPECT_EQ(m.query(u, v), lab.query(u, v)) << u << "->" << v;
+}
+
+}  // namespace
+}  // namespace hybrid
