@@ -3,16 +3,24 @@
 // p ∈ {0, 0.05, 0.1, 0.3} — round overshoot, dropped traffic, and
 // protocol-level retransmissions for the healed local flood
 // (limited_bellman_ford under local-plane drops), token dissemination and
-// token routing (both under global-plane drops). Every quantity except
-// wall time is deterministic per (seed, fault_seed), so the curves are
-// gated against bench/baseline/BENCH_faults.json like the other
-// deterministic trajectories. A protocol that aborts (fault_failure)
-// records success = 0 — the curve stays honest instead of silently
-// dropping the row. Usage:
+// token routing (both under global-plane drops), plus the end-to-end
+// APSP/SSSP/diameter pipelines under drops on each plane separately. Every
+// quantity except wall time and the pipelines' extra_rounds (healing
+// overhead — a perf trajectory that moves with the healing engine) is
+// deterministic per (seed, fault_seed), so the curves are gated against
+// bench/baseline/BENCH_faults.json like the other deterministic
+// trajectories. A protocol that aborts (fault_failure) records success = 0
+// — the curve stays honest instead of silently dropping the row. Usage:
 //
 //   bench_faults [--json <path>]
+#include <functional>
 #include <iostream>
+#include <string>
+#include <utility>
 
+#include "core/apsp.hpp"
+#include "core/diameter.hpp"
+#include "core/sssp.hpp"
 #include "graph/generators.hpp"
 #include "proto/dissemination.hpp"
 #include "proto/flood.hpp"
@@ -178,6 +186,83 @@ void bench_token_routing(bench_recorder& rec) {
   std::cout << "\n";
 }
 
+// End-to-end degradation: the full APSP/SSSP/diameter pipelines under
+// drops on each plane separately. `identical` asserts the headline claim —
+// the healed result is bit-identical to the fault-free run — and is gated;
+// `extra_rounds` is the healing overhead curve (perf-tracked, see
+// compare_bench_json.py).
+void bench_pipelines(bench_recorder& rec) {
+  const u32 n = 64;
+  const graph gw = gen::erdos_renyi_connected(n, 3.0, 8, 21);  // weighted
+  const graph gu = gen::erdos_renyi_connected(n, 3.0, 1, 21);  // unweighted
+  const auto dia_alg = make_clique_diameter_32(0.25, injection::none);
+  const auto apsp_ref = hybrid_apsp_exact(gw, model_config{}, 7);
+  const auto sssp_ref = hybrid_sssp_exact(gw, model_config{}, 7, 0);
+  const auto dia_ref = hybrid_diameter(gu, model_config{}, 7, dia_alg);
+  print_section("Full pipelines — healed degradation on either plane");
+  table t({"scenario", "p", "extra rounds", "identical", "success",
+           "wall ms"});
+  // run(opts) -> {identical-to-fault-free, extra_rounds}; throws
+  // fault_failure when healing gives up.
+  const auto family =
+      [&](const std::string& scenario, bool local_plane,
+          const std::function<std::pair<u32, u64>(const sim_options&)>& run) {
+        for (const double p : kProbabilities) {
+          u32 success = 1, identical = 0;
+          u64 extra = 0;
+          const double ms = best_ms([&] {
+            const sim_options o = local_plane ? faulty_local(p)
+                                              : faulty_global(p);
+            try {
+              const std::pair<u32, u64> r = run(o);
+              identical = r.first;
+              extra = r.second;
+            } catch (const fault_failure&) {
+              success = 0;
+              identical = 0;
+              extra = 0;
+            }
+          });
+          t.add_row({scenario, table::num(p, 2),
+                     table::integer(static_cast<long long>(extra)),
+                     table::integer(identical), table::integer(success),
+                     table::num(ms, 2)});
+          rec.add(scenario, {{"p_x100", p * 100},
+                             {"n", n},
+                             {"success", success},
+                             {"identical", identical},
+                             {"extra_rounds", extra},
+                             {"wall_ms", ms}});
+        }
+      };
+  const auto apsp_run = [&](const sim_options& o) {
+    const auto got = hybrid_apsp_exact(gw, model_config{}, 7, false, o);
+    return std::pair<u32, u64>{got.dist == apsp_ref.dist,
+                               got.metrics.extra_rounds};
+  };
+  const auto sssp_run = [&](const sim_options& o) {
+    const auto got = hybrid_sssp_exact(gw, model_config{}, 7, 0, o);
+    return std::pair<u32, u64>{got.dist == sssp_ref.dist,
+                               got.metrics.extra_rounds};
+  };
+  const auto dia_run = [&](const sim_options& o) {
+    const auto got = hybrid_diameter(gu, model_config{}, 7, dia_alg, o);
+    return std::pair<u32, u64>{got.estimate == dia_ref.estimate &&
+                                   got.h_hat == dia_ref.h_hat &&
+                                   got.skeleton_estimate ==
+                                       dia_ref.skeleton_estimate,
+                               got.metrics.extra_rounds};
+  };
+  family("apsp_pipeline_local", true, apsp_run);
+  family("apsp_pipeline_global", false, apsp_run);
+  family("sssp_pipeline_local", true, sssp_run);
+  family("sssp_pipeline_global", false, sssp_run);
+  family("diameter_pipeline_local", true, dia_run);
+  family("diameter_pipeline_global", false, dia_run);
+  t.print();
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,6 +270,7 @@ int main(int argc, char** argv) {
   bench_flood(rec);
   bench_dissemination(rec);
   bench_token_routing(rec);
+  bench_pipelines(rec);
   if (!rec.write()) {
     std::cerr << "failed to write --json output\n";
     return 1;

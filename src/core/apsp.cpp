@@ -108,6 +108,9 @@ apsp_result hybrid_apsp_exact(const graph& g, const model_config& cfg,
     // realizes d(u,v) (the paper's IP-routing application).
     net.begin_phase("route_tables");
     net.charge_local(2 * g.num_edges() * n);
+    // Closed-form neighbor-exchange budget: reliability-abstracted, so the
+    // whole charge counts as delivered (run_metrics::local_delivered).
+    net.note_local_delivered(2 * g.num_edges() * n);
     net.advance_round();
     out.labels.routes = true;
   }

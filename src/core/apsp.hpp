@@ -15,6 +15,14 @@
 //      core/dist_oracle.hpp and can answer
 //        d(u, v) = min(d_h(u, v), min_{s near u} d_h(u, s) + d(s, v))
 //      as a free local computation.
+//
+// Fault behavior (docs/FAULTS.md): every stage self-heals under injected
+// message loss on both planes plus crash/recovery — the floods and the
+// exploration through their healed re-offer engines, token routing through
+// its acknowledgement layer — so the labels come out bit-identical to the
+// fault-free run or the pipeline throws fault_failure explicitly. The one
+// refusal: charged_token_routing=true throws fault_unsupported under any
+// injected fault (its closed-form budgets move no real messages).
 #pragma once
 
 #include "core/dist_oracle.hpp"

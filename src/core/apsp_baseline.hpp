@@ -8,6 +8,12 @@
 // to the whole network with token dissemination. That is Θ(n·|V_S|) tokens;
 // with the trade-off optimized at x = n^{2/3} (|V_S| ≈ n^{1/3}) the total
 // runtime is Õ(x + n/√x) = Õ(n^{2/3}).
+//
+// Fault behavior (docs/FAULTS.md): like core/apsp.hpp, every stage
+// self-heals under message loss on both planes plus crash/recovery, so the
+// labels are bit-identical to the fault-free run or the pipeline throws
+// fault_failure explicitly (this pipeline has no charged stand-in, so no
+// fault_unsupported case at all).
 #pragma once
 
 #include "core/dist_oracle.hpp"

@@ -57,6 +57,7 @@ diameter_result hybrid_diameter(const graph& g, const model_config& cfg,
       static_cast<u64>(std::ceil(alg.eta() * static_cast<double>(sk.h))) + 1;
   const auto ecc = truncated_eccentricity(net, static_cast<u32>(eta_h));
   net.charge_local(n);  // D̃(S) spreading from skeleton nodes, in parallel
+  net.note_local_delivered(n);  // closed-form budget: no loss model
   out.exploration_depth = eta_h;
 
   // ---- 4. ĥ = max_v h_v (Lemma B.2 aggregation) ----------------------------

@@ -8,6 +8,12 @@
 // max-aggregation produces ĥ = max_v h_v; finally Equation (3):
 //   D̃ = ĥ             if ĥ ≤ ηh   (then D̃ = D exactly)
 //   D̃ = D̃(S) + 2h     otherwise   (then D ≤ D̃ ≤ (α + 2/η + β/T_B)·D).
+//
+// Fault behavior (docs/FAULTS.md): every stage self-heals under message
+// loss on both planes plus crash/recovery — the eccentricity flood through
+// the healed exploration engine (unit weights), the skeleton and embedding
+// through the healed floods — so estimate/ĥ/D̃(S) are bit-identical to the
+// fault-free run or the pipeline throws fault_failure explicitly.
 #pragma once
 
 #include "clique/algorithms.hpp"

@@ -96,7 +96,11 @@ kssp_result hybrid_kssp(const graph& g, const model_config& cfg, u64 seed,
       static_cast<u64>(std::ceil(alg.eta() * static_cast<double>(sk.h))) + 1;
   u64 elapsed = net.round();
   // Exploration runs in parallel with everything so far; only rounds beyond
-  // the elapsed runtime cost extra.
+  // the elapsed runtime cost extra. Under faults the elapsed runtime —
+  // hence the depth — can exceed its fault-free value (healing overhead in
+  // the earlier stages): the deeper ball is harmless, because d_h is
+  // already exact at every depth ≥ ηh for the label queries the framework
+  // answers, and per-query outputs stay identical to the fault-free run.
   out.exploration_depth = std::max(eta_h, elapsed);
   for (u64 r = elapsed; r < out.exploration_depth; ++r) net.advance_round();
 

@@ -2,6 +2,12 @@
 // 4.9): the Theorem 4.1 framework instantiated with the exact CLIQUE SSSP of
 // [7] (δ = 1/6, η = 1, α = 1, β = 0) and the source summoned into the
 // skeleton (Lemma 4.5), which makes the result exact w.h.p.
+//
+// Fault behavior (docs/FAULTS.md): inherits the kssp framework's healing —
+// under message loss on both planes plus crash/recovery the distance vector
+// comes out identical to the fault-free run (the exploration may go deeper
+// when healing stretched the elapsed runtime, but d_h is already exact at
+// the nominal depth), or the run throws fault_failure explicitly.
 #pragma once
 
 #include "graph/graph.hpp"

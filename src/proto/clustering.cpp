@@ -87,6 +87,7 @@ std::vector<std::vector<item128>> cluster_flood(
       }
     }
     net.charge_local(items);
+    net.note_local_delivered(items);
     net.advance_round();
     frontier = std::move(next);
     if (!any) {

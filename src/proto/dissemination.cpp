@@ -155,12 +155,13 @@ dissemination_result disseminate(hybrid_net& net,
       exec.for_nodes(n, [&](u32 v) {
         if (net.is_up(v)) st[v].fresh.clear();
       });
+      u64 lost = 0;
       if (lf) {
-        u64 lost = 0;
         for (u32 v = 0; v < n; ++v) lost += dropped[v];
         net.note_local_dropped(lost);
       }
       net.charge_local(items);
+      net.note_local_delivered(items - lost);
       net.advance_round();
       exec.for_nodes(n, [&](u32 v) {
         for (u32 idx : inject[v])

@@ -22,15 +22,19 @@
 // distance); distances in the Bellman–Ford variant stay exact because each
 // node keeps the Pareto-minimal (dist, hops) pairs per source and only
 // offers pairs with hops < h — so every accepted value is realized by some
-// ≤h-hop walk, and at convergence it is d_h. Primitives whose *output
-// semantics* a lossy flood would distort (full_local_exploration,
-// truncated_eccentricity) refuse with fault_unsupported instead.
+// ≤h-hop walk, and at convergence it is d_h. The exploration-shaped
+// primitives (full_local_exploration, truncated_eccentricity) heal through
+// the shared engine in proto/sparse_exploration.cpp and return results
+// bit-identical to the fault-free run; the only refusals left are the two
+// documented fault_unsupported cases (frozen-round Bellman–Ford below,
+// charged token routing in proto/token_routing.cpp).
 #include "proto/flood.hpp"
 
 #include <algorithm>
 #include <tuple>
 
 #include "proto/aggregation.hpp"
+#include "proto/sparse_exploration.hpp"
 #include "util/assert.hpp"
 
 namespace hybrid {
@@ -79,20 +83,6 @@ std::vector<u64> items_per_component(const std::vector<u32>& comp,
     ++count[c];
   }
   return count;
-}
-
-/// Quiet-round update for the stability loops. Progress this round resets
-/// the counter; so does any node still being down — a paused node has
-/// pulls pending that only run after recovery, so its silence is not
-/// convergence (a never-recovering node pushes the loop into its budget
-/// and an explicit fault_failure).
-u32 next_quiet(hybrid_net& net, round_executor& exec, u32 n, u32 quiet,
-               const std::vector<u8>& changed) {
-  if (exec.any_node(n, [&](u32 v) { return changed[v] != 0; })) return 0;
-  if (!net.faults().crashes.empty() &&
-      exec.any_node(n, [&](u32 v) { return !net.is_up(v); }))
-    return 0;
-  return quiet + 1;
 }
 
 std::vector<std::vector<discovered_seed>> healed_hop_discovery(
@@ -149,6 +139,7 @@ std::vector<std::vector<discovered_seed>> healed_hop_discovery(
     net.charge_local(items);
     u64 lost = 0;
     for (u32 v = 0; v < n; ++v) lost += dropped[v];
+    net.note_local_delivered(items - lost);
     net.note_local_dropped(lost);
     net.advance_round();
     exec.for_nodes(n, [&](u32 v) {
@@ -160,7 +151,7 @@ std::vector<std::vector<discovered_seed>> healed_hop_discovery(
           changed[v] = 1;
         }
     });
-    quiet = next_quiet(net, exec, n, quiet, changed);
+    quiet = heal_next_quiet(net, exec, n, quiet, changed);
   }
   // Referee: each node must know exactly the seeds of its own component
   // (the healed flood runs to saturation, not a T-round ball).
@@ -281,6 +272,7 @@ std::vector<std::vector<source_distance>> healed_limited_bellman_ford(
     net.charge_local(items);
     u64 lost = 0;
     for (u32 v = 0; v < n; ++v) lost += dropped[v];
+    net.note_local_delivered(items - lost);
     net.note_local_dropped(lost);
     net.advance_round();
     exec.for_nodes(n, [&](u32 v) {
@@ -291,34 +283,43 @@ std::vector<std::vector<source_distance>> healed_limited_bellman_ford(
         changed[v] = 1;
       }
     });
-    quiet = next_quiet(net, exec, n, quiet, changed);
+    quiet = heal_next_quiet(net, exec, n, quiet, changed);
   }
-  // Referee: recompute d_h with the reliable relaxation (sequentially, in
-  // memory — no simulated traffic) and require the healed fronts to match
-  // exactly. Healed entries are always realized by ≤h-hop walks, so any
-  // divergence means the stability heuristic fired before convergence.
-  // Memory: one u64 per (node, source), smaller than the Pareto state.
+  // Referee: replay the reliable relaxation sequentially, in memory — no
+  // simulated traffic — including its via tie-breaking (first neighbor in
+  // adjacency order that strictly improves, per round), and require the
+  // healed distance fronts to match exactly. Healed entries are always
+  // realized by ≤h-hop walks, so any divergence means the stability
+  // heuristic fired before convergence. The referee's result is what gets
+  // returned: healed vias depend on which copy survived the drop pattern,
+  // while the callers' determinism contract promises labels bit-identical
+  // to the fault-free run.
+  std::vector<std::vector<u64>> ref(n, std::vector<u64>(s_count, kInfDist));
+  std::vector<std::vector<u32>> ref_via(n, std::vector<u32>(s_count, ~u32{0}));
   {
-    std::vector<std::vector<u64>> ref(n, std::vector<u64>(s_count, kInfDist));
-    std::vector<std::vector<std::pair<u32, u64>>> frontier(n);
+    std::vector<std::vector<source_distance>> frontier(n);
     for (u32 i = 0; i < s_count; ++i)
       if (ref[sources[i]][i] > 0) {
         ref[sources[i]][i] = 0;
-        frontier[sources[i]].push_back({i, 0});
+        ref_via[sources[i]][i] = sources[i];
+        frontier[sources[i]].push_back({i, 0, sources[i]});
       }
     for (u32 r = 0; r < h; ++r) {
-      std::vector<std::vector<std::pair<u32, u64>>> next(n);
+      std::vector<std::vector<source_distance>> next(n);
       bool any = false;
       for (u32 v = 0; v < n; ++v) {
         for (const edge& e : g.neighbors(v))
-          for (const auto& [i, d] : frontier[e.to])
-            if (d + e.weight < ref[v][i]) {
-              ref[v][i] = d + e.weight;
-              next[v].push_back({i, d + e.weight});
+          for (const source_distance& f : frontier[e.to]) {
+            const u64 nd = f.dist + e.weight;
+            if (nd < ref[v][f.source]) {
+              ref[v][f.source] = nd;
+              ref_via[v][f.source] = e.to;
+              next[v].push_back({f.source, nd, e.to});
             }
+          }
         next[v].erase(std::remove_if(next[v].begin(), next[v].end(),
-                                     [&](const std::pair<u32, u64>& f) {
-                                       return f.second != ref[v][f.first];
+                                     [&](const source_distance& sd) {
+                                       return sd.dist != ref[v][sd.source];
                                      }),
                       next[v].end());
         any = any || !next[v].empty();
@@ -338,9 +339,7 @@ std::vector<std::vector<source_distance>> healed_limited_bellman_ford(
   std::vector<std::vector<source_distance>> out(n);
   for (u32 v = 0; v < n; ++v)
     for (u32 i = 0; i < s_count; ++i)
-      if (!cur[v][i].empty())
-        // Sets are dist-ascending: front() is d_h(v, source) at convergence.
-        out[v].push_back({i, cur[v][i].front().dist, cur[v][i].front().via});
+      if (ref[v][i] != kInfDist) out[v].push_back({i, ref[v][i], ref_via[v][i]});
   return out;
 }
 
@@ -395,6 +394,7 @@ std::vector<std::vector<u32>> healed_table_flood(
     net.charge_local(items);
     u64 lost = 0;
     for (u32 v = 0; v < n; ++v) lost += dropped[v];
+    net.note_local_delivered(items - lost);
     net.note_local_dropped(lost);
     net.advance_round();
     exec.for_nodes(n, [&](u32 v) {
@@ -406,7 +406,7 @@ std::vector<std::vector<u32>> healed_table_flood(
           changed[v] = 1;
         }
     });
-    quiet = next_quiet(net, exec, n, quiet, changed);
+    quiet = heal_next_quiet(net, exec, n, quiet, changed);
   }
   // Referee: every node must hold exactly its component's tables.
   {
@@ -424,6 +424,15 @@ std::vector<std::vector<u32>> healed_table_flood(
 }
 
 }  // namespace
+
+u32 heal_next_quiet(hybrid_net& net, round_executor& exec, u32 n, u32 quiet,
+                    const std::vector<u8>& changed) {
+  if (exec.any_node(n, [&](u32 v) { return changed[v] != 0; })) return 0;
+  if (!net.faults().crashes.empty() &&
+      exec.any_node(n, [&](u32 v) { return !net.is_up(v); }))
+    return 0;
+  return quiet + 1;
+}
 
 std::vector<std::vector<discovered_seed>> hop_discovery(
     hybrid_net& net, const std::vector<u32>& seeds, u32 rounds,
@@ -463,6 +472,7 @@ std::vector<std::vector<discovered_seed>> hop_discovery(
       return mine;
     });
     net.charge_local(items);
+    net.note_local_delivered(items);
     net.advance_round();
     frontier = std::move(next);
     const bool any = net.executor().any_node(
@@ -493,7 +503,8 @@ std::vector<std::vector<source_distance>> limited_bellman_ford(
     if (!advance_rounds)
       throw fault_unsupported(
           "limited_bellman_ford(advance_rounds=false) cannot self-heal: the "
-          "round counter is frozen, so fault draws never change "
+          "round counter is frozen, so fault draws never change; call with "
+          "advance_rounds=true to heal under local-plane faults "
           "(docs/FAULTS.md)");
     return healed_limited_bellman_ford(net, sources, h);
   }
@@ -547,6 +558,7 @@ std::vector<std::vector<source_distance>> limited_bellman_ford(
       return mine;
     });
     net.charge_local(items);
+    net.note_local_delivered(items);
     if (advance_rounds) net.advance_round();
     frontier = std::move(next);
     const bool any = net.executor().any_node(
@@ -568,7 +580,24 @@ std::vector<std::vector<source_distance>> limited_bellman_ford(
 std::vector<std::vector<u64>> full_local_exploration(
     hybrid_net& net, u32 h, bool advance_rounds,
     std::vector<std::vector<u32>>* first_hop) {
-  net.require_reliable_local("full local exploration");
+  if (net.local_faults_active()) {
+    // Self-heal through the shared exploration engine
+    // (proto/sparse_exploration.cpp) and expand its canonical CSR triples
+    // back into the dense matrix shape this primitive promises. The engine
+    // returns the referee's fixed point, so dist and first_hop are
+    // bit-identical to the fault-free run.
+    const sparse_exploration_result got = healed_local_exploration(
+        net, h, advance_rounds, nullptr, first_hop != nullptr);
+    const u32 n = net.n();
+    std::vector<std::vector<u64>> dist(n, std::vector<u64>(n, kInfDist));
+    if (first_hop) first_hop->assign(n, std::vector<u32>(n, ~u32{0}));
+    for (u32 v = 0; v < n; ++v)
+      for (const exploration_entry& e : got.reached(v)) {
+        dist[v][e.source] = e.dist;
+        if (first_hop) (*first_hop)[v][e.source] = e.first_hop;
+      }
+    return dist;
+  }
   const graph& g = net.g();
   const u32 n = g.num_nodes();
   std::vector<std::vector<u64>> dist(n);
@@ -606,6 +635,7 @@ std::vector<std::vector<u64>> full_local_exploration(
       return mine;
     });
     net.charge_local(items);
+    net.note_local_delivered(items);
     if (advance_rounds) net.advance_round();
     frontier = std::move(next);
     const bool any = net.executor().any_node(
@@ -659,6 +689,7 @@ std::vector<std::vector<u32>> table_flood(hybrid_net& net,
       return mine;
     });
     net.charge_local(items);
+    net.note_local_delivered(items);
     net.advance_round();
     frontier = std::move(next);
     const bool any = net.executor().any_node(
@@ -672,7 +703,24 @@ std::vector<std::vector<u32>> table_flood(hybrid_net& net,
 }
 
 std::vector<u32> truncated_eccentricity(hybrid_net& net, u32 rounds) {
-  net.require_reliable_local("truncated eccentricity flood");
+  if (net.local_faults_active()) {
+    // Hello floods carry hop counts, not weighted distances, so run the
+    // healed engine with unit weights (always with real rounds — frozen
+    // counters cannot heal) and read each node's truncated eccentricity off
+    // its reached set. The engine returns the referee's canonical fixed
+    // point, so the h_v vector is bit-identical to the fault-free flood.
+    const sparse_exploration_result got = healed_local_exploration(
+        net, rounds, true, nullptr, false, true);
+    const run_metrics& m = net.raw_metrics();
+    HYB_INVARIANT(m.local_items == m.local_delivered + m.local_dropped,
+                  "local plane ledger must balance after a healed flood");
+    const u32 n = net.n();
+    std::vector<u32> ecc(n, 0);
+    for (u32 v = 0; v < n; ++v)
+      for (const exploration_entry& e : got.reached(v))
+        ecc[v] = std::max(ecc[v], static_cast<u32>(e.dist));
+    return ecc;
+  }
   // Bitset-based all-sources hello flood: O(n²/8) memory instead of storing
   // (seed, hop) lists per node.
   const graph& g = net.g();
@@ -705,11 +753,19 @@ std::vector<u32> truncated_eccentricity(hybrid_net& net, u32 rounds) {
       return mine;
     });
     net.charge_local(items);
+    net.note_local_delivered(items);
     net.advance_round();
     frontier = std::move(next);
     const bool any = net.executor().any_node(
         n, [&](u32 v) { return !frontier[v].empty(); });
     if (!any && r < rounds) {
+      // This branch only runs on a reliable local plane (the healed path
+      // returned above), so everything charged must have arrived: the
+      // ledger local_items == local_delivered + local_dropped balances with
+      // a zero dropped share from this flood.
+      const run_metrics& m = net.raw_metrics();
+      HYB_INVARIANT(m.local_items == m.local_delivered + m.local_dropped,
+                    "local plane ledger must balance at flood saturation");
       for (u32 rest = r + 1; rest <= rounds; ++rest) net.advance_round();
       break;
     }

@@ -93,7 +93,17 @@ std::vector<std::vector<u32>> table_flood(hybrid_net& net,
 /// Hello-flood eccentricity: every node floods its ID for `rounds` rounds;
 /// returns per node the largest hop at which it heard a new ID, i.e.
 /// h_v = max_{u in N_rounds(v)} hop(v, u) truncated at `rounds`
-/// (Algorithm 9's h_v).
+/// (Algorithm 9's h_v). Under local-plane faults the flood self-heals
+/// through the healed exploration engine (proto/sparse_exploration.hpp) and
+/// returns the identical h_v vector.
 std::vector<u32> truncated_eccentricity(hybrid_net& net, u32 rounds);
+
+/// Quiet-window update shared by the self-healing re-offer loops
+/// (docs/FAULTS.md §3). Progress this round resets the counter; so does any
+/// node still being down — a paused node has pulls pending that only run
+/// after recovery, so its silence is not convergence (a never-recovering
+/// node pushes the loop into its budget and an explicit fault_failure).
+u32 heal_next_quiet(hybrid_net& net, round_executor& exec, u32 n, u32 quiet,
+                    const std::vector<u8>& changed);
 
 }  // namespace hybrid

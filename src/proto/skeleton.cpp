@@ -76,13 +76,27 @@ skeleton_result compute_skeleton(hybrid_net& net, double sample_prob,
   };
   u32 attempts = 0;
   for (;;) {
+    // Healing-overhead reconciliation: a failed attempt burns rounds the
+    // primitive never reports (it threw before its accounting epilogue), so
+    // top extra_rounds up to everything actually spent beyond what the
+    // attempt itself noted.
+    const u64 r0 = net.round();
+    const u64 x0 = net.raw_metrics().extra_rounds;
     bool converged = true;
     try {
       explore();
     } catch (const fault_failure&) {
       converged = false;
     }
-    if (converged && symmetric()) break;
+    const u64 spent = net.round() - r0;
+    const u64 noted = net.raw_metrics().extra_rounds - x0;
+    const bool done = converged && symmetric();
+    // A clean attempt's nominal budget (h rounds) is not overhead; anything
+    // else — failed attempts wholesale, and a clean attempt's overshoot —
+    // already is or becomes extra_rounds here.
+    const u64 covered = noted + (done ? sk.h : 0);
+    if (spent > covered) net.note_extra_rounds(spent - covered);
+    if (done) break;
     if (++attempts >= 4)
       throw fault_failure("skeleton re-stabilization failed to converge");
   }

@@ -85,7 +85,13 @@ routing_context build_routing_context(hybrid_net& net, routing_spec spec) {
       net.charge_rounds(charged_setup_rounds(mu, n));
       // The two intra-cluster floods move every node's record through its
       // cluster: n records for a 2β+1-round budget, twice.
-      if (mu > 1) net.charge_local(2 * u64{n} * charged_flood_budget(mu, n));
+      if (mu > 1) {
+        const u64 items = 2 * u64{n} * charged_flood_budget(mu, n);
+        net.charge_local(items);
+        // Closed-form budgets are reliability-abstracted: the whole charge
+        // counts as delivered (run_metrics::local_delivered).
+        net.note_local_delivered(items);
+      }
     }
     // Hash-seed broadcast, charged as one aggregation (Lemma B.2).
     net.charge_rounds(aggregation_rounds(n));
@@ -180,6 +186,7 @@ static std::vector<std::vector<routed_token>> charged_route_tokens(
   rounds += aggregation_rounds(n);
   net.charge_rounds(rounds);
   net.charge_local(flood_items);
+  net.note_local_delivered(flood_items);  // closed-form budget: no loss model
   net.charge_global(3 * total_routed + n, 5 * total_routed + n);
   return delivered;
 }
@@ -193,8 +200,15 @@ std::vector<std::vector<routed_token>> route_tokens(
               "token batch must align with the sender list");
   if (net.config().charged_token_routing) {
     // The stand-in moves no real messages, so there is nothing to drop and
-    // nothing to heal — it cannot model a faulty global plane.
-    net.require_reliable_global("charged token routing");
+    // nothing to heal — its closed-form budgets cannot model any fault
+    // plane (docs/FAULTS.md).
+    if (net.faults_active())
+      throw fault_unsupported(
+          "charged token routing cannot run under injected faults: the "
+          "stand-in charges closed-form budgets and moves no real messages, "
+          "so there is nothing to drop or heal; set "
+          "model_config::charged_token_routing=false to run the "
+          "message-level healed path (docs/FAULTS.md)");
     return charged_route_tokens(net, ctx, by_sender);
   }
   // Fault degradation (docs/FAULTS.md): under a faulty global plane the
@@ -283,6 +297,9 @@ std::vector<std::vector<routed_token>> route_tokens(
       std::vector<helper_task>().swap(tasks[i]);  // handed over; release
     }
     net.charge_local(token_count * flood_rounds);
+    // Budgeted intra-cluster flood (no per-item drop model): delivered in
+    // full to keep the local ledger balanced.
+    net.note_local_delivered(token_count * flood_rounds);
     for (u32 r = 0; r < flood_rounds; ++r) net.advance_round();
   };
   distribute(ctx.sender_helpers, spec.senders, sender_tokens, send_tasks);
@@ -515,6 +532,9 @@ std::vector<std::vector<routed_token>> route_tokens(
       std::vector<helper_task>().swap(fetched[v]);  // handed over; release
     }
     net.charge_local(token_count * flood_rounds);
+    // Budgeted intra-cluster flood (no per-item drop model): delivered in
+    // full to keep the local ledger balanced.
+    net.note_local_delivered(token_count * flood_rounds);
     for (u32 r = 0; r < flood_rounds; ++r) net.advance_round();
   }
   return delivered;

@@ -117,20 +117,6 @@ bool hybrid_net::local_drop(u32 from, u32 to, u32 idx, u32 count) const {
                     fo.drop_local);
 }
 
-void hybrid_net::require_reliable_local(const char* stage) const {
-  if (fault_local_)
-    throw fault_unsupported(std::string(stage) +
-                            " has no self-healing path under local-plane "
-                            "faults (docs/FAULTS.md)");
-}
-
-void hybrid_net::require_reliable_global(const char* stage) const {
-  if (fault_global_)
-    throw fault_unsupported(std::string(stage) +
-                            " has no self-healing path under global-plane "
-                            "faults (docs/FAULTS.md)");
-}
-
 void hybrid_net::advance_round() {
   // The round barrier: called from the orchestrating thread only, after the
   // executor joined all per-node steps (docs/CONCURRENCY.md). Delivery is
@@ -215,15 +201,19 @@ rng hybrid_net::round_rng(u32 v) const {
 
 void hybrid_net::begin_phase(std::string name) {
   close_phase();
-  open_phase_ = phase_entry{std::move(name), 0, 0};
+  open_phase_ = phase_entry{std::move(name)};
   phase_start_rounds_ = metrics_.rounds;
   phase_start_msgs_ = metrics_.global_messages;
+  phase_start_retx_ = metrics_.retransmitted;
+  phase_start_extra_ = metrics_.extra_rounds;
 }
 
 void hybrid_net::close_phase() {
   if (!open_phase_) return;
   open_phase_->rounds = metrics_.rounds - phase_start_rounds_;
   open_phase_->global_messages = metrics_.global_messages - phase_start_msgs_;
+  open_phase_->retransmitted = metrics_.retransmitted - phase_start_retx_;
+  open_phase_->extra_rounds = metrics_.extra_rounds - phase_start_extra_;
   metrics_.phases.push_back(*open_phase_);
   open_phase_.reset();
 }

@@ -147,13 +147,15 @@ class hybrid_net {
   /// the sum through note_local_dropped (the charge_local charge includes
   /// dropped items — they did cross the edge).
   bool local_drop(u32 from, u32 to, u32 idx, u32 count) const;
+  /// Items that arrived (= charged minus dropped at the charging site).
+  /// Every charge_local caller reports its delivered share so the ledger
+  /// local_items == local_delivered + local_dropped holds at all times;
+  /// charged stand-ins report their whole charge (loss is not modeled for
+  /// closed-form budgets, see run_metrics::local_delivered).
+  void note_local_delivered(u64 items) { metrics_.local_delivered += items; }
   void note_local_dropped(u64 items) { metrics_.local_dropped += items; }
   void note_retransmitted(u64 count) { metrics_.retransmitted += count; }
   void note_extra_rounds(u64 rounds) { metrics_.extra_rounds += rounds; }
-  /// Guards for stages without a self-healing path: throw fault_unsupported
-  /// when the respective plane is faulty, naming the stage.
-  void require_reliable_local(const char* stage) const;
-  void require_reliable_global(const char* stage) const;
 
   // ---- charged stand-ins (DESIGN.md §4) ----------------------------------
   /// Account `rounds` silent rounds without simulating them (no delivery,
@@ -232,6 +234,8 @@ class hybrid_net {
   std::optional<phase_entry> open_phase_;
   u64 phase_start_rounds_ = 0;
   u64 phase_start_msgs_ = 0;
+  u64 phase_start_retx_ = 0;
+  u64 phase_start_extra_ = 0;
 
   std::vector<u8> cut_side_;
 

@@ -14,6 +14,7 @@ void run_metrics::absorb(const run_metrics& sub) {
   cut_bits += sub.cut_bits;
   global_sent += sub.global_sent;
   global_dropped += sub.global_dropped;
+  local_delivered += sub.local_delivered;
   local_dropped += sub.local_dropped;
   retransmitted += sub.retransmitted;
   extra_rounds += sub.extra_rounds;

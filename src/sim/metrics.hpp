@@ -17,6 +17,11 @@ struct phase_entry {
   std::string name;
   u64 rounds = 0;
   u64 global_messages = 0;
+  /// Healing cost attributable to this phase (docs/FAULTS.md §3): protocol
+  /// re-sends and rounds beyond the stage's fault-free budget. Both stay 0
+  /// with fault injection off.
+  u64 retransmitted = 0;
+  u64 extra_rounds = 0;
 };
 
 struct run_metrics {
@@ -34,13 +39,21 @@ struct run_metrics {
   u64 cut_bits = 0;
 
   // ---- fault accounting (sim/fault.hpp, docs/FAULTS.md) --------------------
-  // Always maintained; all four stay 0 with fault injection off, and
-  // global_sent == global_messages then. Invariant (asserted in sim_test):
-  // global_sent == global_messages + global_dropped.
+  // Always maintained; everything below stays 0 with fault injection off
+  // (local_delivered == local_items then, global_sent == global_messages).
+  // Invariants (asserted in sim_test, and for the local plane inside
+  // truncated_eccentricity's early-exit branch):
+  //   global_sent == global_messages + global_dropped
+  //   local_items == local_delivered + local_dropped
   /// Global-plane sends entering delivery (delivered + dropped).
   u64 global_sent = 0;
   /// Global-plane sends lost to injected faults.
   u64 global_dropped = 0;
+  /// LOCAL-mode items that actually arrived. Charged stand-ins (the closed-
+  /// form flood budgets of token routing, clustering, route tables) count
+  /// as delivered in full: they model bandwidth reliability-abstracted,
+  /// never per-item loss.
+  u64 local_delivered = 0;
   /// LOCAL-mode items lost to injected faults (still charged to local_items).
   u64 local_dropped = 0;
   /// Protocol-level re-sends performed by the self-healing stages.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.hpp"
+#include "proto/flood.hpp"
 #include "sim/clique_net.hpp"
 #include "sim/hybrid_net.hpp"
 
@@ -123,6 +124,20 @@ TEST(MetricsAbsorb, MergesCountersAndPhases) {
   EXPECT_EQ(a.cut_bits, 11u);
 }
 
+TEST(MetricsAbsorb, SumsLocalLedgerCounters) {
+  run_metrics a, b;
+  a.local_items = 10;
+  a.local_delivered = 8;
+  a.local_dropped = 2;
+  b.local_items = 5;
+  b.local_delivered = 5;
+  a.absorb(b);
+  EXPECT_EQ(a.local_items, 15u);
+  EXPECT_EQ(a.local_delivered, 13u);
+  EXPECT_EQ(a.local_dropped, 2u);
+  EXPECT_EQ(a.local_items, a.local_delivered + a.local_dropped);
+}
+
 TEST(CliqueNet, FullExchangeWithinCaps) {
   clique_net net(8);
   for (u32 i = 0; i < 8; ++i)
@@ -216,6 +231,36 @@ TEST(CliqueNet, SentEqualsDeliveredPlusDropped) {
   EXPECT_EQ(on.total_sent(), u64{4} * 64);
   EXPECT_EQ(on.total_sent(), on.total_messages() + on.total_dropped());
   EXPECT_GT(on.total_dropped(), 0u);
+}
+
+// Local-plane ledger (docs/FAULTS.md §2): local_items == local_delivered +
+// local_dropped. Faults off exercises the reliable paths — including the
+// early-exit branch of truncated_eccentricity, which stops flooding before
+// its nominal budget and must not leave charged items unaccounted.
+TEST(HybridNet, LocalLedgerBalancesFaultsOff) {
+  const graph g = gen::path(8);  // diameter 7 << rounds: early exit fires
+  hybrid_net net(g, default_cfg(), 3);
+  const std::vector<u32> ecc = truncated_eccentricity(net, 32);
+  EXPECT_EQ(ecc[0], 7u);
+  EXPECT_EQ(ecc[4], 4u);
+  const run_metrics& m = net.raw_metrics();
+  EXPECT_GT(m.local_items, 0u);
+  EXPECT_EQ(m.local_dropped, 0u);
+  EXPECT_EQ(m.local_items, m.local_delivered + m.local_dropped);
+}
+
+TEST(HybridNet, LocalLedgerBalancesFaultsOn) {
+  const graph g = gen::path(12);
+  sim_options opts;
+  opts.threads = 2;
+  opts.faults.drop_local = 0.3;
+  opts.faults.fault_seed = 9;
+  hybrid_net net(g, default_cfg(), 3, opts);
+  const auto heard = hop_discovery(net, {0, 11}, 11);
+  for (u32 v = 0; v < 12; ++v) ASSERT_EQ(heard[v].size(), 2u) << v;
+  const run_metrics& m = net.raw_metrics();
+  EXPECT_GT(m.local_dropped, 0u);
+  EXPECT_EQ(m.local_items, m.local_delivered + m.local_dropped);
 }
 
 }  // namespace
