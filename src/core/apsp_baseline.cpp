@@ -33,7 +33,7 @@ apsp_baseline_result baseline_apsp_ahkss(const graph& g,
     for (const auto& [j, w] : sk.edges[i])
       if (i < j) edge_tokens[sk.nodes[i]].push_back({(u64{i} << 32) | j, w});
   disseminate(net, std::move(edge_tokens));
-  const std::vector<std::vector<u64>> dist_s = skeleton_apsp(sk);
+  const std::vector<std::vector<u64>> dist_s = skeleton_apsp(sk, net.executor());
 
   // ---- 3. broadcast ALL h-limited labels d_h(v, s) ------------------------
   net.begin_phase("label_dissemination");

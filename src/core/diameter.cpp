@@ -103,8 +103,9 @@ weighted_diameter_result hybrid_weighted_diameter_2approx(
 }
 
 u64 labels_exact_diameter(const dist_labels& labels, bool require_connected) {
-  HYB_REQUIRE(labels.scheme == label_scheme::kSkeletonRows,
-              "labels_exact_diameter consumes Theorem 1.1 labels");
+  HYB_REQUIRE(labels.scheme == label_scheme::kSkeletonRows ||
+                  labels.scheme == label_scheme::kTwoLevel,
+              "labels_exact_diameter consumes hybrid_apsp_exact labels");
   return diameter_of_rows(
       labels.n, [&](u32 u, std::vector<u64>& row) { labels.row_into(u, row); },
       require_connected);
@@ -112,14 +113,17 @@ u64 labels_exact_diameter(const dist_labels& labels, bool require_connected) {
 
 label_diameter_estimate diameter_estimate_from_labels(
     const dist_labels& labels) {
-  HYB_REQUIRE(labels.scheme == label_scheme::kSkeletonRows,
-              "the skeleton estimate consumes Theorem 1.1 labels");
+  HYB_REQUIRE(labels.scheme == label_scheme::kSkeletonRows ||
+                  labels.scheme == label_scheme::kTwoLevel,
+              "the skeleton estimate consumes hybrid_apsp_exact labels");
   label_diameter_estimate out;
-  // M = max finite d(s, v): every s is itself a node, so M ≤ D.
+  // M = max finite skeleton-table entry: rows hold d(s, v) over all nodes
+  // (M ≤ D directly); the two-level table holds super-pair distances, so M
+  // is a diameter lower bound over V_S2 only and both query endpoints pay
+  // their gateway legs in the upper bound below.
   for (u64 d : labels.skel)
     if (d < kInfDist) out.skeleton_max = std::max(out.skeleton_max, d);
-  // L = max over nodes of the distance to their nearest gateway. d(u, v) ≤
-  // d_h(u, s_u) + d(s_u, v) ≤ L + M for covered u, so D ≤ M + L.
+  // L = max over nodes of the distance to their nearest gateway.
   for (u32 v = 0; v < labels.n; ++v) {
     u64 nearest = kInfDist;
     for (const source_distance& sd : labels.gateways_of(v))
@@ -128,9 +132,30 @@ label_diameter_estimate diameter_estimate_from_labels(
     ++out.covered;
     out.gateway_slack = std::max(out.gateway_slack, nearest);
   }
-  out.estimate = out.skeleton_max + out.gateway_slack;
-  out.bound = 1.0 + static_cast<double>(out.gateway_slack) /
-                        static_cast<double>(std::max<u64>(out.skeleton_max, 1));
+  const label_view view = labels.view();
+  if (labels.scheme == label_scheme::kSkeletonRows) {
+    // d(u, v) ≤ d_h(u, s_u) + d(s_u, v) ≤ L + M for covered u: D ≤ M + L.
+    out.estimate = out.skeleton_max + out.gateway_slack;
+    out.bound =
+        1.0 + static_cast<double>(out.gateway_slack) /
+                  static_cast<double>(std::max<u64>(out.skeleton_max, 1));
+  } else {
+    // L1 = max over gw1-covered skeleton nodes of min level-2 gateway dist.
+    // d(u, v) ≤ L + d_S1(s_u, t_v) + L and d_S1(s, t) ≤ L1 + M + L1 when
+    // both s and t reach a super member, so D ≤ M + 2·L1 + 2·L when every
+    // node and skeleton node is covered.
+    for (u32 s1 = 0; s1 < labels.n_s; ++s1) {
+      u64 nearest = kInfDist;
+      for (const source_distance& sd : view.gw1_of(s1))
+        nearest = std::min(nearest, sd.dist);
+      if (nearest == kInfDist) continue;
+      out.super_slack = std::max(out.super_slack, nearest);
+    }
+    const u64 slack = 2 * out.super_slack + 2 * out.gateway_slack;
+    out.estimate = out.skeleton_max + slack;
+    out.bound = 1.0 + static_cast<double>(slack) /
+                          static_cast<double>(std::max<u64>(out.skeleton_max, 1));
+  }
   return out;
 }
 

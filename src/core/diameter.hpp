@@ -70,23 +70,30 @@ weighted_diameter_result hybrid_weighted_diameter_2approx(
 //     distance, M ≤ D ≤ M + L, so `estimate` = M + L is a
 //     (1 + L/M)-approximation from above whenever every node has a gateway.
 
-/// Exact weighted diameter from one-sided APSP labels. `require_connected`
-/// mirrors the centralized reference; without it unreachable pairs are
-/// skipped.
+/// Exact weighted diameter from APSP labels (kSkeletonRows or kTwoLevel —
+/// row_into is scheme-generic). `require_connected` mirrors the centralized
+/// reference; without it unreachable pairs are skipped.
 u64 labels_exact_diameter(const dist_labels& labels,
                           bool require_connected = true);
 
 struct label_diameter_estimate {
-  u64 estimate = 0;       ///< M + L; D ≤ estimate when covered == n
-  u64 skeleton_max = 0;   ///< M = max finite d(s, v) over the table; M ≤ D
+  u64 estimate = 0;      ///< D ≤ estimate when covered == n (see below)
+  u64 skeleton_max = 0;  ///< M = max finite skeleton-table entry; M ≤ D
   u64 gateway_slack = 0;  ///< L = max over covered nodes of min gateway dist
-  u32 covered = 0;        ///< nodes with at least one skeleton gateway
-  /// estimate ≤ bound·D when covered == n (bound = 1 + L/M; the measured
-  /// 1 + ε of the skeleton approximation).
+  /// L1 = max over gw1-covered skeleton nodes of min level-2 gateway dist
+  /// (kTwoLevel only, else 0).
+  u64 super_slack = 0;
+  u32 covered = 0;  ///< nodes with at least one skeleton gateway
+  /// estimate ≤ bound·D when every node and skeleton node is covered
+  /// (bound = 1 + slack/M; the measured 1 + ε of the skeleton
+  /// approximation).
   double bound = 0.0;
 };
 
-/// Cheap diameter estimate from the skeleton part of one-sided labels.
+/// Cheap diameter estimate from the skeleton part of the labels.
+/// kSkeletonRows: estimate = M + L (d(u,v) ≤ d_h(u,s_u) + d(s_u,v)).
+/// kTwoLevel: M is the max finite SUPER-pair distance, so both endpoints
+/// pay a gateway leg at both levels: estimate = M + 2·L1 + 2·L.
 label_diameter_estimate diameter_estimate_from_labels(
     const dist_labels& labels);
 

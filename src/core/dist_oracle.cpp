@@ -35,21 +35,67 @@ u64 label_view::ball_dist(u32 u, u32 v) const { return ball_lookup(ball_of(u), v
 u64 label_view::query(u32 u, u32 v) const {
   u64 best = ball_dist(u, v);
   if (scheme == label_scheme::kSkeletonRows) {
-    // min_{s near u} d_h(u, s) + d(s, v) — the Theorem 1.1 assembly.
+    // min_{s near u} d_h(u, s) + d(s, v) — the Theorem 1.1 assembly. ∞ rows
+    // entries are skipped explicitly: with multi-level composition in the
+    // codebase the kInfDist = ~u64/4 headroom argument only covers sums of
+    // ≤ 3 addends, so no ∞ may ever enter an addition. (Skipping is
+    // result-identical: best starts ≤ kInfDist, and a skipped candidate was
+    // ≥ kInfDist.)
     for (const source_distance& sd : gateways_of(u)) {
-      const u64 cand = sd.dist + skel[u64{sd.source} * n + v];
-      best = std::min(best, cand);
+      const u64 mid = skel[u64{sd.source} * n + v];
+      if (mid >= kInfDist) continue;
+      best = std::min(best, sd.dist + mid);
     }
-  } else {
+  } else if (scheme == label_scheme::kSkeletonPairs) {
     // min_{s1 near u, s2 near v} d_h(u,s1) + d_S(s1,s2) + d_h(v,s2) — the
     // baseline assembly with A[s2] = min_{s1} d_h(u,s1) + d_S(s1,s2)
-    // evaluated per s2, including its skip-at-exactly-∞ filter.
+    // evaluated per s2; ∞ pair entries skipped before the addition so the
+    // A[s2] == kInfDist filter is exact rather than headroom-dependent.
     for (const source_distance& to : gateways_of(v)) {
       u64 a = kInfDist;
-      for (const source_distance& from : gateways_of(u))
-        a = std::min(a, from.dist + skel[u64{from.source} * n_s + to.source]);
+      for (const source_distance& from : gateways_of(u)) {
+        const u64 mid = skel[u64{from.source} * n_s + to.source];
+        if (mid >= kInfDist) continue;
+        a = std::min(a, from.dist + mid);
+      }
       if (a == kInfDist) continue;
       best = std::min(best, a + to.dist);
+    }
+  } else {
+    // kTwoLevel: d(u,v) = ball ⊓ min_{s1 near u, t1 near v} gw + d_S1 + gw,
+    // where d_S1(s1,t1) itself composes ball1 with the super-pair table.
+    // Every table lookup that can be ∞ is skipped before it is added — all
+    // four addends of the deepest term (gw, gw1, d_S2, gw1) are finite, so
+    // the u64 sums cannot wrap.
+    const auto gu = gateways_of(u);
+    const auto gv = gateways_of(v);
+    if (gu.empty() || gv.empty()) return best;
+    // (a) the ball1 cross term: gw(u,s1) + ball1(s1,t1) + gw(v,t1).
+    for (const source_distance& from : gu) {
+      const auto slice = ball1_of(from.source);
+      for (const source_distance& to : gv) {
+        const u64 mid = ball_lookup(slice, to.source);
+        if (mid >= kInfDist) continue;
+        best = std::min(best, from.dist + mid + to.dist);
+      }
+    }
+    // (b) the super-pair term, factored through level 2: P = the reachable
+    // super nodes from u's side (s2, gw + gw1), Q the same from v's side;
+    // then min over P × Q of P + d_S2 + Q.
+    std::vector<source_distance> p, q;
+    for (const source_distance& from : gu)
+      for (const source_distance& g2 : gw1_of(from.source))
+        p.push_back({g2.source, from.dist + g2.dist, g2.via});
+    for (const source_distance& to : gv)
+      for (const source_distance& g2 : gw1_of(to.source))
+        q.push_back({g2.source, to.dist + g2.dist, g2.via});
+    for (const source_distance& ps : p) {
+      const u64* row = skel.data() + u64{ps.source} * n_s2;
+      for (const source_distance& qs : q) {
+        const u64 mid = row[qs.source];
+        if (mid >= kInfDist) continue;
+        best = std::min(best, ps.dist + mid + qs.dist);
+      }
     }
   }
   return best;
@@ -75,18 +121,63 @@ void label_view::row_into(u32 u, std::vector<u64>& out) const {
   out.assign(n, kInfDist);
   for (const exploration_entry& e : ball_of(u)) out[e.source] = e.dist;
   if (scheme == label_scheme::kSkeletonRows) {
+    // ∞ row entries skipped before the addition (same invariant as query():
+    // no ∞ ever enters a sum); result-identical to the old headroom-reliant
+    // loop because out[v] ≤ kInfDist throughout.
     for (const source_distance& sd : gateways_of(u)) {
       const u64* lbl = skel.data() + u64{sd.source} * n;
-      for (u32 v = 0; v < n; ++v) out[v] = std::min(out[v], sd.dist + lbl[v]);
+      for (u32 v = 0; v < n; ++v) {
+        if (lbl[v] >= kInfDist) continue;
+        out[v] = std::min(out[v], sd.dist + lbl[v]);
+      }
     }
-  } else {
+  } else if (scheme == label_scheme::kSkeletonPairs) {
     // A[s2] = min_{s1 near u} d_h(u, s1) + d_S(s1, s2), then one gateway
     // scan per target — the baseline loop with its token scan replaced by
-    // the equivalent per-target gateway lists.
+    // the equivalent per-target gateway lists. ∞ pair entries skipped so
+    // the A[s2] filter is exact.
     std::vector<u64> a(n_s, kInfDist);
     for (const source_distance& from : gateways_of(u))
-      for (u32 s2 = 0; s2 < n_s; ++s2)
-        a[s2] = std::min(a[s2], from.dist + skel[u64{from.source} * n_s + s2]);
+      for (u32 s2 = 0; s2 < n_s; ++s2) {
+        const u64 mid = skel[u64{from.source} * n_s + s2];
+        if (mid >= kInfDist) continue;
+        a[s2] = std::min(a[s2], from.dist + mid);
+      }
+    for (u32 v = 0; v < n; ++v)
+      for (const source_distance& to : gateways_of(v)) {
+        if (a[to.source] == kInfDist) continue;
+        out[v] = std::min(out[v], a[to.source] + to.dist);
+      }
+  } else {
+    // kTwoLevel, the row variant of query()'s composition with the shared
+    // legs hoisted. P[s2] = best u → super-node-s2 leg; B[t2] folds the
+    // super-pair table over P; A[t1] = best u → skeleton-node-t1 distance
+    // (ball1 cross term ⊓ B pulled back through t1's level-2 gateways);
+    // the final scan composes A with each target's level-1 gateways. Every
+    // ∞ is skipped before addition, and A/B/P stay exactly kInfDist when
+    // unreachable, so the filters are exact.
+    std::vector<u64> p(n_s2, kInfDist);
+    for (const source_distance& from : gateways_of(u))
+      for (const source_distance& g2 : gw1_of(from.source))
+        p[g2.source] = std::min(p[g2.source], from.dist + g2.dist);
+    std::vector<u64> b(n_s2, kInfDist);
+    for (u32 s2 = 0; s2 < n_s2; ++s2) {
+      if (p[s2] == kInfDist) continue;
+      const u64* row = skel.data() + u64{s2} * n_s2;
+      for (u32 t2 = 0; t2 < n_s2; ++t2) {
+        if (row[t2] >= kInfDist) continue;
+        b[t2] = std::min(b[t2], p[s2] + row[t2]);
+      }
+    }
+    std::vector<u64> a(n_s, kInfDist);
+    for (const source_distance& from : gateways_of(u))
+      for (const exploration_entry& e : ball1_of(from.source))
+        a[e.source] = std::min(a[e.source], from.dist + e.dist);
+    for (u32 t1 = 0; t1 < n_s; ++t1)
+      for (const source_distance& g2 : gw1_of(t1)) {
+        if (b[g2.source] == kInfDist) continue;
+        a[t1] = std::min(a[t1], b[g2.source] + g2.dist);
+      }
     for (u32 v = 0; v < n; ++v)
       for (const source_distance& to : gateways_of(v)) {
         if (a[to.source] == kInfDist) continue;

@@ -44,6 +44,19 @@ enum class label_scheme : u8 {
   /// (n_s × n_s, public after the broadcast). Two-sided composition:
   /// ball(u,v) ⊓ min_{s1 near u, s2 near v} gw(u,s1) + d_S(s1,s2) + gw(v,s2).
   kSkeletonPairs,
+  /// Two-level hierarchy (the recursive Section 4 / Lemma C.1 structure): a
+  /// super-skeleton V_S2 ⊆ V_S is sampled from the skeleton, each level-1
+  /// node holds its h1-hop ball over the skeleton graph (`ball1`) plus
+  /// gateways into level 2 (`gw1`), and `skel` shrinks to the n_s2 × n_s2
+  /// super-pair table. Composition recurses one level:
+  ///   d_S1(s1,t1) = ball1(s1,t1)
+  ///                 ⊓ min_{s2∈gw1(s1), t2∈gw1(t1)} gw1+d_S2(s2,t2)+gw1
+  ///   d(u,v)      = ball(u,v) ⊓ min_{s1 near u, t1 near v} gw+d_S1(s1,t1)+gw
+  /// with every ∞ table entry skipped explicitly (four finite addends max —
+  /// the kInfDist headroom argument no longer covers the sum). Each level's
+  /// table is Õ(√ of the level below), which is what restores full coverage
+  /// at n = 10⁵ inside the 2 GB budget (ROADMAP).
+  kTwoLevel,
 };
 
 /// Storage-agnostic read-only view over one set of distance labels: every
@@ -55,6 +68,7 @@ enum class label_scheme : u8 {
 struct label_view {
   u32 n = 0;
   u32 n_s = 0;
+  u32 n_s2 = 0;  ///< super-skeleton size |V_S2| (kTwoLevel only, else 0)
   u32 h = 0;
   label_scheme scheme = label_scheme::kSkeletonRows;
   bool routes = false;
@@ -66,7 +80,19 @@ struct label_view {
   std::span<const u64> gw_offsets;  ///< size n + 1
   std::span<const source_distance> gateways;
   std::span<const u32> skeleton_nodes;  ///< size n_s
-  std::span<const u64> skel;            ///< n_s × n rows or n_s × n_s pairs
+  /// n_s × n rows, n_s × n_s pairs, or n_s2 × n_s2 super-pairs (kTwoLevel).
+  std::span<const u64> skel;
+
+  // ---- level-1 slabs (kTwoLevel only; empty otherwise) -------------------
+  /// h1-hop balls over the *skeleton graph*: per skeleton index s1 the
+  /// triples (t1 = skeleton index, d_{h1,G_S}(s1, t1), via), sorted by t1.
+  std::span<const u64> ball1_offsets;  ///< size n_s + 1
+  std::span<const exploration_entry> ball1_entries;
+  /// Level-2 gateways: per skeleton index s1 the nearby super-skeleton
+  /// members as (source = *super* index s2, d_{h1,G_S}(s1, s2), via).
+  std::span<const u64> gw1_offsets;  ///< size n_s + 1
+  std::span<const source_distance> gw1;
+  std::span<const u32> super_nodes;  ///< size n_s2, level-1 indices, ascending
 
   std::span<const exploration_entry> ball_of(u32 u) const {
     return {ball_entries.data() + ball_offsets[u],
@@ -74,6 +100,13 @@ struct label_view {
   }
   std::span<const source_distance> gateways_of(u32 u) const {
     return {gateways.data() + gw_offsets[u], gateways.data() + gw_offsets[u + 1]};
+  }
+  std::span<const exploration_entry> ball1_of(u32 s1) const {
+    return {ball1_entries.data() + ball1_offsets[s1],
+            ball1_entries.data() + ball1_offsets[s1 + 1]};
+  }
+  std::span<const source_distance> gw1_of(u32 s1) const {
+    return {gw1.data() + gw1_offsets[s1], gw1.data() + gw1_offsets[s1 + 1]};
   }
 
   /// d_h(u, v) from u's ball (kInfDist when v is outside it).
@@ -92,9 +125,11 @@ struct label_view {
   void row_into(u32 u, std::vector<u64>& out) const;
   std::vector<u64> row(u32 u) const;
 
-  /// Total stored label entries (ball + gateway + skeleton-table words).
+  /// Total stored label entries (ball + gateway + skeleton-table words,
+  /// plus the level-1 slabs when two-level).
   u64 label_entries() const {
-    return ball_entries.size() + gateways.size() + skel.size();
+    return ball_entries.size() + gateways.size() + skel.size() +
+           ball1_entries.size() + gw1.size() + super_nodes.size();
   }
 };
 
@@ -104,9 +139,10 @@ struct label_view {
 /// up to kDenseExplorationMaxNodes nodes). All query paths delegate to
 /// `view()` — the shared span accessor the mmap-ed oracle_store also uses.
 struct dist_labels {
-  u32 n = 0;    ///< nodes of the underlying local graph
-  u32 n_s = 0;  ///< skeleton size |V_S|
-  u32 h = 0;    ///< skeleton hop budget (ball radius)
+  u32 n = 0;     ///< nodes of the underlying local graph
+  u32 n_s = 0;   ///< skeleton size |V_S|
+  u32 n_s2 = 0;  ///< super-skeleton size |V_S2| (kTwoLevel only, else 0)
+  u32 h = 0;     ///< skeleton hop budget (ball radius)
   label_scheme scheme = label_scheme::kSkeletonRows;
   /// True when the route-exchange round ran (hybrid_apsp_exact's
   /// build_routes): next_hop() composes neighbors' labels, information a
@@ -127,9 +163,16 @@ struct dist_labels {
   std::vector<source_distance> gateways;
 
   /// Skeleton part: node IDs of V_S plus the row-major table described by
-  /// `scheme` (n_s × n rows, or n_s × n_s pairs).
+  /// `scheme` (n_s × n rows, n_s × n_s pairs, or n_s2 × n_s2 super-pairs).
   std::vector<u32> skeleton_nodes;
   std::vector<u64> skel;
+
+  /// Level-1 slabs (kTwoLevel only; empty otherwise) — see label_view.
+  std::vector<u64> ball1_offsets;
+  std::vector<exploration_entry> ball1_entries;
+  std::vector<u64> gw1_offsets;
+  std::vector<source_distance> gw1;
+  std::vector<u32> super_nodes;
 
   std::span<const source_distance> gateways_of(u32 u) const {
     return {gateways.data() + gw_offsets[u], gateways.data() + gw_offsets[u + 1]};
@@ -141,6 +184,7 @@ struct dist_labels {
     label_view v;
     v.n = n;
     v.n_s = n_s;
+    v.n_s2 = n_s2;
     v.h = h;
     v.scheme = scheme;
     v.routes = routes;
@@ -151,6 +195,11 @@ struct dist_labels {
     v.gateways = gateways;
     v.skeleton_nodes = skeleton_nodes;
     v.skel = skel;
+    v.ball1_offsets = ball1_offsets;
+    v.ball1_entries = ball1_entries;
+    v.gw1_offsets = gw1_offsets;
+    v.gw1 = gw1;
+    v.super_nodes = super_nodes;
     return v;
   }
 
@@ -170,10 +219,13 @@ struct dist_labels {
   void row_into(u32 u, std::vector<u64>& out) const { view().row_into(u, out); }
   std::vector<u64> row(u32 u) const { return view().row(u); }
 
-  /// Total stored label entries (ball + gateway + skeleton-table words) —
-  /// the Õ(Σᵥ|ball_h(v)| + n_s·n) memory the oracle is bounded by.
+  /// Total stored label entries (ball + gateway + skeleton-table words,
+  /// plus the level-1 slabs when two-level) — the memory the oracle is
+  /// bounded by: Õ(Σᵥ|ball_h(v)| + n_s·n) single-level, and
+  /// Õ(Σᵥ|ball| + Σₛ|ball1| + n_s2²) for kTwoLevel.
   u64 label_entries() const {
-    return ball.entries.size() + gateways.size() + skel.size();
+    return ball.entries.size() + gateways.size() + skel.size() +
+           ball1_entries.size() + gw1.size() + super_nodes.size();
   }
 
   // ---- dense adapters (O(n²) memory — callers bound n) -------------------

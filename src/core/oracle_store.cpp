@@ -34,6 +34,11 @@ enum : u32 {
   kSecGateways = 3,
   kSecSkeletonNodes = 4,
   kSecSkel = 5,
+  kSecBall1Offsets = 6,
+  kSecBall1Entries = 7,
+  kSecGw1Offsets = 8,
+  kSecGw1 = 9,
+  kSecSuperNodes = 10,
 };
 
 u64 align_up(u64 x) {
@@ -42,8 +47,13 @@ u64 align_up(u64 x) {
 }
 
 /// Expected skeleton-table element count for a header's scheme.
-u64 expected_skel_count(u32 n, u32 n_s, label_scheme scheme) {
-  return scheme == label_scheme::kSkeletonRows ? u64{n_s} * n : u64{n_s} * n_s;
+u64 expected_skel_count(u32 n, u32 n_s, u32 n_s2, label_scheme scheme) {
+  switch (scheme) {
+    case label_scheme::kSkeletonRows: return u64{n_s} * n;
+    case label_scheme::kSkeletonPairs: return u64{n_s} * n_s;
+    case label_scheme::kTwoLevel: return u64{n_s2} * n_s2;
+  }
+  return 0;
 }
 
 /// A CSR offsets array is valid iff it starts at 0, is nondecreasing, and
@@ -109,6 +119,7 @@ u64 graph_checksum(const graph& g) {
 // ---- save -------------------------------------------------------------------
 
 void save_oracle(const dist_labels& lab, const std::string& path) {
+  const bool two_level = lab.scheme == label_scheme::kTwoLevel;
   HYB_REQUIRE(lab.ball.offsets.size() == u64{lab.n} + 1,
               "ball offsets must have n + 1 entries");
   HYB_REQUIRE(lab.gw_offsets.size() == u64{lab.n} + 1,
@@ -117,26 +128,46 @@ void save_oracle(const dist_labels& lab, const std::string& path) {
               "skeleton node list must have n_s entries");
   HYB_REQUIRE(lab.skel.empty() ||
                   lab.skel.size() ==
-                      expected_skel_count(lab.n, lab.n_s, lab.scheme),
+                      expected_skel_count(lab.n, lab.n_s, lab.n_s2, lab.scheme),
               "skeleton table size inconsistent with the scheme");
   HYB_REQUIRE(lab.ball.offsets.back() == lab.ball.entries.size(),
               "ball CSR does not cover its entries");
   HYB_REQUIRE(lab.gw_offsets.back() == lab.gateways.size(),
               "gateway CSR does not cover its entries");
+  if (two_level) {
+    HYB_REQUIRE(lab.ball1_offsets.size() == u64{lab.n_s} + 1,
+                "ball1 offsets must have n_s + 1 entries");
+    HYB_REQUIRE(lab.gw1_offsets.size() == u64{lab.n_s} + 1,
+                "gw1 offsets must have n_s + 1 entries");
+    HYB_REQUIRE(lab.super_nodes.size() == lab.n_s2,
+                "super node list must have n_s2 entries");
+    HYB_REQUIRE(lab.ball1_offsets.back() == lab.ball1_entries.size(),
+                "ball1 CSR does not cover its entries");
+    HYB_REQUIRE(lab.gw1_offsets.back() == lab.gw1.size(),
+                "gw1 CSR does not cover its entries");
+  } else {
+    HYB_REQUIRE(lab.n_s2 == 0 && lab.ball1_offsets.empty() &&
+                    lab.ball1_entries.empty() && lab.gw1_offsets.empty() &&
+                    lab.gw1.empty() && lab.super_nodes.empty(),
+                "level-1 slabs must be empty unless the scheme is kTwoLevel");
+  }
 
-  // source_distance carries 8 bytes of struct padding; stage the section
+  // source_distance carries 8 bytes of struct padding; stage those sections
   // with the padding zeroed so the file image is deterministic (the mmap
   // view reads the same 24-byte layout back, padding ignored).
-  std::vector<std::byte> gw_bytes(lab.gateways.size() * sizeof(source_distance),
-                                  std::byte{0});
-  {
-    auto* out = reinterpret_cast<source_distance*>(gw_bytes.data());
-    for (size_t i = 0; i < lab.gateways.size(); ++i) {
-      out[i].source = lab.gateways[i].source;
-      out[i].dist = lab.gateways[i].dist;
-      out[i].via = lab.gateways[i].via;
+  const auto stage_sd = [](const std::vector<source_distance>& src) {
+    std::vector<std::byte> bytes(src.size() * sizeof(source_distance),
+                                 std::byte{0});
+    auto* out = reinterpret_cast<source_distance*>(bytes.data());
+    for (size_t i = 0; i < src.size(); ++i) {
+      out[i].source = src[i].source;
+      out[i].dist = src[i].dist;
+      out[i].via = src[i].via;
     }
-  }
+    return bytes;
+  };
+  const std::vector<std::byte> gw_bytes = stage_sd(lab.gateways);
+  const std::vector<std::byte> gw1_bytes = stage_sd(lab.gw1);
 
   const std::span<const std::byte> payloads[kOracleSectionCount] = {
       std::as_bytes(std::span(lab.ball.offsets)),
@@ -144,10 +175,19 @@ void save_oracle(const dist_labels& lab, const std::string& path) {
       std::as_bytes(std::span(lab.gw_offsets)),
       std::span<const std::byte>(gw_bytes),
       std::as_bytes(std::span(lab.skeleton_nodes)),
-      std::as_bytes(std::span(lab.skel))};
+      std::as_bytes(std::span(lab.skel)),
+      std::as_bytes(std::span(lab.ball1_offsets)),
+      std::as_bytes(std::span(lab.ball1_entries)),
+      std::as_bytes(std::span(lab.gw1_offsets)),
+      std::span<const std::byte>(gw1_bytes),
+      std::as_bytes(std::span(lab.super_nodes))};
   const u64 counts[kOracleSectionCount] = {
-      lab.ball.offsets.size(), lab.ball.entries.size(), lab.gw_offsets.size(),
-      lab.gateways.size(),     lab.skeleton_nodes.size(), lab.skel.size()};
+      lab.ball.offsets.size(),  lab.ball.entries.size(),
+      lab.gw_offsets.size(),    lab.gateways.size(),
+      lab.skeleton_nodes.size(), lab.skel.size(),
+      lab.ball1_offsets.size(), lab.ball1_entries.size(),
+      lab.gw1_offsets.size(),   lab.gw1.size(),
+      lab.super_nodes.size()};
 
   oracle_header hdr;
   std::memset(&hdr, 0, sizeof(hdr));
@@ -156,6 +196,7 @@ void save_oracle(const dist_labels& lab, const std::string& path) {
   hdr.header_bytes = sizeof(oracle_header);
   hdr.n = lab.n;
   hdr.n_s = lab.n_s;
+  hdr.n_s2 = lab.n_s2;
   hdr.h = lab.h;
   hdr.scheme = static_cast<u8>(lab.scheme);
   hdr.routes = lab.routes ? 1 : 0;
@@ -336,28 +377,37 @@ mapped_oracle mapped_oracle::load(const std::string& path) {
   if (hdr.header_bytes != sizeof(oracle_header))
     throw oracle_store_error(store_errc::bad_header,
                              "header size mismatch in " + path);
-  if (hdr.scheme > static_cast<u8>(label_scheme::kSkeletonPairs) ||
-      hdr.routes > 1 || hdr.pad[0] != 0 || hdr.pad[1] != 0)
+  if (hdr.scheme > static_cast<u8>(label_scheme::kTwoLevel) ||
+      hdr.routes > 1 || hdr.pad[0] != 0 || hdr.pad[1] != 0 ||
+      hdr.reserved != 0)
     throw oracle_store_error(store_errc::bad_header,
                              "invalid scheme/routes/pad bytes in " + path);
+  const label_scheme scheme = static_cast<label_scheme>(hdr.scheme);
+  if (scheme != label_scheme::kTwoLevel && hdr.n_s2 != 0)
+    throw oracle_store_error(store_errc::bad_header,
+                             "n_s2 set on a single-level scheme in " + path);
   if (hdr.file_bytes > out.mapped_bytes_)
     throw oracle_store_error(store_errc::truncated,
                              "file shorter than its declared size: " + path);
   if (hdr.file_bytes < out.mapped_bytes_)
     throw oracle_store_error(store_errc::bad_header,
                              "file longer than its declared size: " + path);
-  const label_scheme scheme = static_cast<label_scheme>(hdr.scheme);
 
   // ---- layer 2: section table --------------------------------------------
   static constexpr u64 kElemSizes[kOracleSectionCount] = {
       sizeof(u64), sizeof(exploration_entry), sizeof(u64),
-      sizeof(source_distance), sizeof(u32), sizeof(u64)};
+      sizeof(source_distance), sizeof(u32), sizeof(u64),
+      sizeof(u64), sizeof(exploration_entry), sizeof(u64),
+      sizeof(source_distance), sizeof(u32)};
   static constexpr const char* kSecNames[kOracleSectionCount] = {
       "ball-offsets", "ball-entries", "gateway-offsets",
-      "gateways",     "skeleton-nodes", "skeleton-table"};
+      "gateways",     "skeleton-nodes", "skeleton-table",
+      "ball1-offsets", "ball1-entries", "gw1-offsets",
+      "gw1",          "super-nodes"};
   for (u32 s = 0; s < kOracleSectionCount; ++s)
     validate_section(hdr.sections[s], kElemSizes[s], hdr.file_bytes,
                      kSecNames[s]);
+  const bool two_level = scheme == label_scheme::kTwoLevel;
   if (hdr.sections[kSecBallOffsets].count != u64{hdr.n} + 1 ||
       hdr.sections[kSecGwOffsets].count != u64{hdr.n} + 1)
     throw oracle_store_error(store_errc::bad_section,
@@ -367,9 +417,26 @@ mapped_oracle mapped_oracle::load(const std::string& path) {
                              "skeleton-node section must hold n_s entries");
   const u64 skel_count = hdr.sections[kSecSkel].count;
   if (skel_count != 0 &&
-      skel_count != expected_skel_count(hdr.n, hdr.n_s, scheme))
+      skel_count != expected_skel_count(hdr.n, hdr.n_s, hdr.n_s2, scheme))
     throw oracle_store_error(store_errc::bad_section,
                              "skeleton table inconsistent with the scheme");
+  // Level-1 sections: per-scheme shape — n_s + 1 offsets and n_s2 super
+  // nodes when two-level, element count 0 otherwise.
+  const u64 lvl1_offsets = two_level ? u64{hdr.n_s} + 1 : 0;
+  if (hdr.sections[kSecBall1Offsets].count != lvl1_offsets ||
+      hdr.sections[kSecGw1Offsets].count != lvl1_offsets)
+    throw oracle_store_error(
+        store_errc::bad_section,
+        two_level ? "level-1 offset sections must hold n_s + 1 entries"
+                  : "level-1 sections must be empty on a single-level scheme");
+  if (hdr.sections[kSecSuperNodes].count != (two_level ? hdr.n_s2 : 0))
+    throw oracle_store_error(store_errc::bad_section,
+                             "super-node section must hold n_s2 entries");
+  if (!two_level && (hdr.sections[kSecBall1Entries].count != 0 ||
+                     hdr.sections[kSecGw1].count != 0))
+    throw oracle_store_error(
+        store_errc::bad_section,
+        "level-1 sections must be empty on a single-level scheme");
 
   // ---- layer 3: payload checksum -----------------------------------------
   u64 checksum = 0xcbf29ce484222325ull;
@@ -384,6 +451,7 @@ mapped_oracle mapped_oracle::load(const std::string& path) {
   label_view& v = out.view_;
   v.n = hdr.n;
   v.n_s = hdr.n_s;
+  v.n_s2 = hdr.n_s2;
   v.h = hdr.h;
   v.scheme = scheme;
   v.routes = hdr.routes != 0;
@@ -396,6 +464,13 @@ mapped_oracle mapped_oracle::load(const std::string& path) {
   v.skeleton_nodes =
       section_span<u32>(out.base_, hdr.sections[kSecSkeletonNodes]);
   v.skel = section_span<u64>(out.base_, hdr.sections[kSecSkel]);
+  v.ball1_offsets =
+      section_span<u64>(out.base_, hdr.sections[kSecBall1Offsets]);
+  v.ball1_entries = section_span<exploration_entry>(
+      out.base_, hdr.sections[kSecBall1Entries]);
+  v.gw1_offsets = section_span<u64>(out.base_, hdr.sections[kSecGw1Offsets]);
+  v.gw1 = section_span<source_distance>(out.base_, hdr.sections[kSecGw1]);
+  v.super_nodes = section_span<u32>(out.base_, hdr.sections[kSecSuperNodes]);
 
   validate_csr(v.ball_offsets, v.ball_entries.size(), "ball");
   validate_csr(v.gw_offsets, v.gateways.size(), "gateway");
@@ -408,11 +483,35 @@ mapped_oracle mapped_oracle::load(const std::string& path) {
       throw oracle_store_error(
           store_errc::bad_csr,
           "gateway names a skeleton index outside [0, n_s)");
-  // Any gateway makes query() index the skeleton table, so the table must
-  // be present at its full per-scheme size.
-  if (!v.gateways.empty() && v.skel.empty())
-    throw oracle_store_error(store_errc::bad_csr,
-                             "gateways present but skeleton table empty");
+  if (two_level) {
+    validate_csr(v.ball1_offsets, v.ball1_entries.size(), "ball1");
+    validate_csr(v.gw1_offsets, v.gw1.size(), "gw1");
+    for (const exploration_entry& e : v.ball1_entries)
+      if (e.source >= v.n_s)
+        throw oracle_store_error(
+            store_errc::bad_csr,
+            "ball1 entry names a skeleton index outside [0, n_s)");
+    for (const source_distance& sd : v.gw1)
+      if (sd.source >= v.n_s2)
+        throw oracle_store_error(
+            store_errc::bad_csr,
+            "gw1 names a super index outside [0, n_s2)");
+    for (const u32 s : v.super_nodes)
+      if (s >= v.n_s)
+        throw oracle_store_error(
+            store_errc::bad_csr,
+            "super node names a skeleton index outside [0, n_s)");
+    // Any level-2 gateway makes query() index the super-pair table.
+    if (!v.gw1.empty() && v.skel.empty())
+      throw oracle_store_error(store_errc::bad_csr,
+                               "gw1 present but super-pair table empty");
+  } else {
+    // Any gateway makes query() index the skeleton table, so the table must
+    // be present at its full per-scheme size.
+    if (!v.gateways.empty() && v.skel.empty())
+      throw oracle_store_error(store_errc::bad_csr,
+                               "gateways present but skeleton table empty");
+  }
   if (!v.skel.empty())
     for (const u32 s : v.skeleton_nodes)
       if (s >= v.n)

@@ -12,22 +12,30 @@
 // implementation the in-memory oracle runs — bit-identity is structural,
 // not re-implemented.
 //
-// File layout (version 1, little-endian, all offsets absolute):
+// File layout (version 2, little-endian, all offsets absolute):
 //
-//   oracle_header   magic "HYBORCLE", version, n/n_s/h/scheme/routes,
+//   oracle_header   magic "HYBORCLE", version, n/n_s/n_s2/h/scheme/routes,
 //                   graph checksum (weights included), payload checksum,
-//                   section table (offset, element count, byte size) × 6
+//                   section table (offset, element count, byte size) × 11
 //   section 0       ball offsets      u64 × (n+1)
 //   section 1       ball entries      exploration_entry (16 B) × Σ|ball|
 //   section 2       gateway offsets   u64 × (n+1)
 //   section 3       gateways          source_distance (24 B, padding
 //                                     zeroed at save) × Σ|near|
 //   section 4       skeleton nodes    u32 × n_s
-//   section 5       skeleton table    u64 × (n_s·n | n_s·n_s), per scheme
+//   section 5       skeleton table    u64 × (n_s·n | n_s·n_s | n_s2·n_s2),
+//                                     per scheme
+//   section 6       ball1 offsets     u64 × (n_s+1)      } level-1 slabs,
+//   section 7       ball1 entries     exploration_entry  } element counts 0
+//   section 8       gw1 offsets       u64 × (n_s+1)      } unless scheme is
+//   section 9       gw1               source_distance    } kTwoLevel
+//   section 10      super nodes       u32 × n_s2         }
 //
 // Versioning policy (docs/ARCHITECTURE.md): any change to the header, the
 // section set, or an element layout bumps kOracleFormatVersion; old files
-// are rejected with store_errc::bad_version, never reinterpreted. The
+// are rejected with store_errc::bad_version, never reinterpreted. (Pinned
+// for the v1 → v2 bump by a kept v1 golden file that must fail with exactly
+// that code — rebuild old oracles rather than migrating bytes.) The
 // committed golden file (tests/data/) makes an accidental layout change a
 // test failure instead of a silent corruption.
 //
@@ -47,8 +55,8 @@
 namespace hybrid {
 
 inline constexpr u64 kOracleMagic = 0x454C43524F425948ull;  // "HYBORCLE" LE
-inline constexpr u32 kOracleFormatVersion = 1;
-inline constexpr u32 kOracleSectionCount = 6;
+inline constexpr u32 kOracleFormatVersion = 2;
+inline constexpr u32 kOracleSectionCount = 11;
 inline constexpr u64 kOracleSectionAlign = 64;
 
 /// One entry of the header's section table.
@@ -71,12 +79,14 @@ struct oracle_header {
   u8 scheme;  ///< label_scheme as u8
   u8 routes;  ///< 0/1: next_hop() servable after attach_topology()
   u8 pad[2];  ///< zero
+  u32 n_s2;      ///< super-skeleton size; 0 unless scheme is kTwoLevel
+  u32 reserved;  ///< zero (future flags; validated like pad)
   u64 graph_checksum;    ///< fnv1a over the topology; 0 = no graph at save
   u64 payload_checksum;  ///< fnv1a over all section payload bytes, in order
   oracle_section sections[kOracleSectionCount];
 };
 static_assert(sizeof(oracle_header) ==
-                  56 + kOracleSectionCount * sizeof(oracle_section),
+                  64 + kOracleSectionCount * sizeof(oracle_section),
               "oracle_header grew implicit padding — fix the layout AND bump "
               "kOracleFormatVersion");
 static_assert(std::is_trivially_copyable_v<oracle_header>);

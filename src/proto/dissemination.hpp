@@ -42,4 +42,19 @@ struct dissemination_result {
 dissemination_result disseminate(hybrid_net& net,
                                  std::vector<std::vector<token2>> initial);
 
+/// Accounting-only stand-in for `disseminate` (DESIGN.md deviation 10):
+/// same token enumeration and same real k-sum aggregation, but the gossip
+/// phase is charged in closed form at its guaranteed budget (rounds,
+/// global pushes, the full 2|E|·k local-flood traffic, the cadence
+/// termination aggregations) instead of simulated — Θ(k) simulator memory
+/// instead of the gossip state's Θ(n·k). Used by the two-level APSP path,
+/// where E_S is consumed only by the n_s skeleton nodes and the result
+/// set is identical by construction (the tokens vector *is* the content
+/// every node would converge to). Never undercharges rounds: the real
+/// protocol's doubling loop fits the first budget on every fault-free
+/// workload we bench. Refuses under active faults (`fault_unsupported`) —
+/// a closed-form budget cannot heal; callers fall back to `disseminate`.
+dissemination_result disseminate_charged(
+    hybrid_net& net, std::vector<std::vector<token2>> initial);
+
 }  // namespace hybrid

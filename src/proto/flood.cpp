@@ -499,13 +499,21 @@ std::vector<std::vector<source_distance>> limited_bellman_ford(
   if (net.local_faults_active()) {
     // With a frozen round counter the fault stream would re-roll the same
     // draws every iteration — a dropped edge stays dropped forever and no
-    // amount of re-offering heals it.
-    if (!advance_rounds)
-      throw fault_unsupported(
-          "limited_bellman_ford(advance_rounds=false) cannot self-heal: the "
-          "round counter is frozen, so fault draws never change; call with "
-          "advance_rounds=true to heal under local-plane faults "
-          "(docs/FAULTS.md)");
+    // amount of re-offering heals it. The remediation its former
+    // fault_unsupported refusal named (run with advance_rounds=true) is now
+    // honored automatically: the healed path runs with real rounds, and
+    // because the caller asked for a frozen counter its nominal budget is 0
+    // — every round actually consumed surfaces as extra_rounds, so metrics
+    // record the whole cost of the fallback (docs/FAULTS.md §3).
+    if (!advance_rounds) {
+      const u64 r0 = net.round();
+      const u64 x0 = net.raw_metrics().extra_rounds;
+      auto out = healed_limited_bellman_ford(net, sources, h);
+      const u64 spent = net.round() - r0;
+      const u64 noted = net.raw_metrics().extra_rounds - x0;
+      if (spent > noted) net.note_extra_rounds(spent - noted);
+      return out;
+    }
     return healed_limited_bellman_ford(net, sources, h);
   }
   const graph& g = net.g();

@@ -60,6 +60,8 @@ struct source_distance {
   /// Exactly what routing-table construction needs (paper §1's IP-routing
   /// motivation).
   u32 via = ~u32{0};
+  friend bool operator==(const source_distance&,
+                         const source_distance&) = default;
 };
 
 /// (2) h rounds of synchronous Bellman–Ford from `sources`.
@@ -67,6 +69,10 @@ struct source_distance {
 /// When `advance_rounds` is false the primitive models the paper's "run the
 /// local exploration in parallel with the rest of the algorithm" trick
 /// (Lemma 4.3's final paragraph): traffic is charged but rounds are not.
+/// Under local-plane faults the frozen-round trick is unavailable (healing
+/// needs fresh fault draws, so the counter must move): the call falls back
+/// to the healed advancing path automatically, with every consumed round
+/// surfaced as extra_rounds (docs/FAULTS.md §3).
 std::vector<std::vector<source_distance>> limited_bellman_ford(
     hybrid_net& net, const std::vector<u32>& sources, u32 h,
     bool advance_rounds = true);

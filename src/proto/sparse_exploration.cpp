@@ -479,6 +479,54 @@ sparse_exploration_result dense_local_exploration(
   return out;
 }
 
+sparse_exploration_result explore_adjacency(
+    const std::vector<std::vector<std::pair<u32, u64>>>& adj, u32 h,
+    round_executor& ex) {
+  const u32 n = static_cast<u32>(adj.size());
+  std::vector<sparse_dist_map> dist(n);
+  // Same pull-based frontier as sparse_local_exploration, minus the net:
+  // frontier entries carry the value of the iteration that produced them,
+  // so information moves one hop per iteration; `source` is the vertex
+  // index of `adj` (its own id space).
+  std::vector<std::vector<source_distance>> frontier(n);
+  for (u32 v = 0; v < n; ++v) {
+    dist[v].relax(v, 0, v);
+    frontier[v].push_back({v, 0, v});
+  }
+  for (u32 r = 0; r < h; ++r) {
+    std::vector<std::vector<source_distance>> next(n);
+    ex.for_nodes(n, [&](u32 v) {
+      sparse_dist_map& dv = dist[v];
+      for (const auto& [to, w] : adj[v])
+        for (const source_distance& f : frontier[to])
+          if (dv.relax(f.source, f.dist + w, to))
+            next[v].push_back({f.source, f.dist + w, to});
+      next[v].erase(std::remove_if(next[v].begin(), next[v].end(),
+                                   [&](const source_distance& sd) {
+                                     return sd.dist != dv.dist_of(sd.source);
+                                   }),
+                    next[v].end());
+    });
+    frontier = std::move(next);
+    if (!ex.any_node(n, [&](u32 v) { return !frontier[v].empty(); })) break;
+  }
+  sparse_exploration_result out;
+  out.offsets.assign(n + 1, 0);
+  for (u32 v = 0; v < n; ++v)
+    out.offsets[v + 1] = out.offsets[v] + dist[v].size();
+  out.entries.resize(out.offsets[n]);
+  ex.for_nodes(n, [&](u32 v) {
+    const std::span<const exploration_entry> src = dist[v].entries();
+    exploration_entry* at = out.entries.data() + out.offsets[v];
+    std::copy(src.begin(), src.end(), at);
+    std::sort(at, at + src.size(),
+              [](const exploration_entry& a, const exploration_entry& b) {
+                return a.source < b.source;
+              });
+  });
+  return out;
+}
+
 sparse_exploration_result run_local_exploration(hybrid_net& net, u32 h,
                                                 bool advance_rounds,
                                                 const std::vector<u32>* sources,

@@ -121,6 +121,20 @@ sparse_exploration_result run_local_exploration(
     hybrid_net& net, u32 h, bool advance_rounds,
     const std::vector<u32>* sources = nullptr, bool first_hops = true);
 
+/// h-hop all-sources exploration over an EXPLICIT adjacency list — free
+/// local computation, no hybrid_net, no rounds, no traffic charging. This
+/// is the level-1 table builder of the two-level hierarchy: once the
+/// skeleton edge set E_S is public (disseminated), every node can run this
+/// over G_S locally, exactly like skeleton_apsp. `adj[v]` holds (neighbor,
+/// weight) pairs; entries come back sorted by source INDEX (the vertices of
+/// `adj` are their own id space), first_hop = the producing neighbor index
+/// (self at the source). Deterministic and bit-identical at every thread
+/// count of `ex` — the relaxation loop is the pull-based frontier of
+/// limited_bellman_ford with per-node state private to each for_nodes item.
+sparse_exploration_result explore_adjacency(
+    const std::vector<std::vector<std::pair<u32, u64>>>& adj, u32 h,
+    round_executor& ex);
+
 /// Self-healing h-hop exploration for a faulty local plane (docs/FAULTS.md
 /// §3) — the engine behind every exploration entry point (sparse, dense,
 /// full_local_exploration, truncated_eccentricity) once

@@ -55,6 +55,16 @@ enum class exploration_path : u8 { kAuto = 0, kDense, kSparse };
 /// the matrices are exactly the memory wall the labels exist to remove.
 enum class result_storage : u8 { kAuto = 0, kDense, kLabels };
 
+/// Oracle hierarchy for the label-producing APSP core (core/apsp.hpp).
+/// `kSingleLevel` is the Theorem 1.1 one-sided scheme: token-routed
+/// n_s × n skeleton rows, exact everywhere a gateway exists but Õ(n^1.5)
+/// label words for full coverage. `kTwoLevel` samples a super-skeleton over
+/// the skeleton and stores the recursive two-sided composition
+/// (label_scheme::kTwoLevel) instead of the rows — each level's table is
+/// Õ(√ of the level below), which is what keeps full coverage at n = 10⁵
+/// inside the 2 GB budget (ROADMAP; the `label_large` bench gates it).
+enum class oracle_hierarchy : u8 { kSingleLevel = 0, kTwoLevel };
+
 struct sim_options {
   /// Worker threads for node-parallel round steps. 0 = auto: the
   /// HYBRID_THREADS environment variable when set to a positive integer,
@@ -65,6 +75,10 @@ struct sim_options {
   exploration_path exploration = exploration_path::kAuto;
   /// Whether APSP/k-SSP results carry dense matrices besides their labels.
   result_storage storage = result_storage::kAuto;
+  /// Skeleton hierarchy depth for hybrid_apsp_exact (single-level rows vs
+  /// the two-level recursive labels). Orthogonal to the knobs above; the
+  /// other cores ignore it.
+  oracle_hierarchy hierarchy = oracle_hierarchy::kSingleLevel;
   /// Fault injection: seeded message loss and node crash/recovery
   /// (sim/fault.hpp, docs/FAULTS.md). Default-constructed = disabled, and
   /// the simulators' fault-free paths are untouched.

@@ -42,6 +42,17 @@ struct model_config {
   double hash_independence_mult = 3.0;
   /// Skeleton hop budget h = ceil(skeleton_xi · (1/p) · ln n) (Lemma C.1's ξ).
   double skeleton_xi = 2.0;
+  /// Level-1 sampling probability override for the APSP cores; 0 keeps the
+  /// Theorem 1.1 default p = 1/√n. The two-level bench raises it (denser
+  /// skeleton, smaller h) to trade ball size against table size.
+  double skeleton_p_override = 0.0;
+  /// Super-skeleton sampling probability (oracle_hierarchy::kTwoLevel);
+  /// 0 = 1/√n_s, the same Õ(√·) recursion step as level 1.
+  double super_p_override = 0.0;
+  /// Super-skeleton hop budget h1 over the skeleton graph; 0 = the Lemma
+  /// C.1 formula with skeleton_xi at level 1: ⌈ξ·(1/p₂)·ln n_s⌉ (which
+  /// saturates to exact ball1 coverage at test sizes).
+  u32 super_h_override = 0;
   /// Helper-set join probability q = min(helper_q_mult · µ / |C|, 1)
   /// (Algorithm 1 uses 2; larger values harden the |H_w| ≥ µ event at
   /// simulation sizes).

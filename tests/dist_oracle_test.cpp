@@ -374,5 +374,166 @@ TEST(DistOracleDiameter, EstimateWithinBoundOn50SeededGraphs) {
   }
 }
 
+// ---- the two-level hierarchy (kTwoLevel) ------------------------------------
+
+sim_options two_level_opts(u32 threads) {
+  sim_options o = opts(threads, exploration_path::kAuto, result_storage::kLabels);
+  o.hierarchy = oracle_hierarchy::kTwoLevel;
+  return o;
+}
+
+TEST(DistOracleTwoLevel, QueryRowMaterializeAgreeAndNeverUnderestimate) {
+  // The composition through ball1/gw1/super-pairs is an upper bound by
+  // construction (every candidate is a real walk), must agree with itself
+  // across query/row_into/materialize, and must keep ∞ exact: an
+  // unreachable pair composes to EXACTLY kInfDist, never a wrapped sum.
+  for (u64 seed : {201u, 202u, 203u}) {
+    rng r(seed);
+    const u32 n = 48 + static_cast<u32>(r.next_below(72));
+    const double deg = 3.5 + r.next_double() * 2.5;
+    const u64 max_w = r.next_bool(0.5) ? 1 : 9;
+    const graph g = gen::erdos_renyi_connected(n, deg, max_w, seed);
+    const apsp_result lab =
+        hybrid_apsp_exact(g, cfg(), seed, false, two_level_opts(1));
+    ASSERT_EQ(lab.labels.scheme, label_scheme::kTwoLevel);
+    ASSERT_GE(lab.labels.n_s2, 1u);
+    ASSERT_LE(lab.labels.n_s2, lab.labels.n_s);
+    const auto truth = apsp_reference(g);
+    round_executor ex;
+    const auto dense = lab.labels.materialize(ex);
+    std::vector<u64> row;
+    for (u32 u = 0; u < n; ++u) {
+      lab.labels.row_into(u, row);
+      ASSERT_EQ(row, dense[u]) << "row " << u;
+      for (u32 v = 0; v < n; ++v) {
+        const u64 q = lab.labels.query(u, v);
+        ASSERT_EQ(q, row[v]) << u << "->" << v;
+        ASSERT_GE(q, truth[u][v]) << u << "->" << v;  // never underestimate
+        if (truth[u][v] == kInfDist) {
+          ASSERT_EQ(q, kInfDist) << u << "->" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistOracleTwoLevel, ExactAtSaturatedDefaults) {
+  // At default parameters on these seeds the skeleton and super-skeleton
+  // hop budgets saturate (Lemma C.2 at both levels), so the two-level
+  // composition is exact — and with exact distances the route exchange
+  // works unchanged, so next_hop matches the single-level oracle too.
+  for (u64 seed : {31u, 32u}) {
+    const graph g = gen::erdos_renyi_connected(96, 4.5, 7, seed);
+    const apsp_result two =
+        hybrid_apsp_exact(g, cfg(), seed, true, two_level_opts(1));
+    const apsp_result one = hybrid_apsp_exact(
+        g, cfg(), seed, true,
+        opts(1, exploration_path::kAuto, result_storage::kLabels));
+    const auto truth = apsp_reference(g);
+    for (u32 u = 0; u < 96; ++u)
+      for (u32 v = 0; v < 96; ++v) {
+        ASSERT_EQ(two.labels.query(u, v), truth[u][v])
+            << u << "->" << v << " seed " << seed;
+        ASSERT_EQ(two.labels.next_hop(u, v), one.labels.next_hop(u, v))
+            << u << "->" << v << " seed " << seed;
+      }
+    // The label-path diameter consumers accept the scheme.
+    EXPECT_EQ(labels_exact_diameter(two.labels), weighted_diameter(g));
+    const label_diameter_estimate est =
+        diameter_estimate_from_labels(two.labels);
+    EXPECT_EQ(est.covered, 96u);
+    EXPECT_GE(est.estimate, weighted_diameter(g));
+  }
+}
+
+TEST(DistOracleTwoLevel, ConstructionBitIdenticalAcrossThreads) {
+  // The whole two-level build (skeleton, super-skeleton sampling, ball1/gw1
+  // flattening, super-pair Dijkstras) runs on the deterministic executor:
+  // every label array and every metric must be bit-identical at any thread
+  // count (docs/CONCURRENCY.md contract).
+  const graph g = gen::erdos_renyi_connected(90, 4.0, 6, 57);
+  const apsp_result ref = hybrid_apsp_exact(g, cfg(), 57, false, two_level_opts(1));
+  for (u32 threads : {2u, 8u}) {
+    const apsp_result got =
+        hybrid_apsp_exact(g, cfg(), 57, false, two_level_opts(threads));
+    EXPECT_EQ(got.labels.n_s2, ref.labels.n_s2) << "threads " << threads;
+    EXPECT_EQ(got.labels.ball.offsets, ref.labels.ball.offsets);
+    EXPECT_EQ(got.labels.ball.entries, ref.labels.ball.entries);
+    EXPECT_EQ(got.labels.gw_offsets, ref.labels.gw_offsets);
+    EXPECT_EQ(got.labels.gateways, ref.labels.gateways);
+    EXPECT_EQ(got.labels.skeleton_nodes, ref.labels.skeleton_nodes);
+    EXPECT_EQ(got.labels.skel, ref.labels.skel);
+    EXPECT_EQ(got.labels.ball1_offsets, ref.labels.ball1_offsets);
+    EXPECT_EQ(got.labels.ball1_entries, ref.labels.ball1_entries);
+    EXPECT_EQ(got.labels.gw1_offsets, ref.labels.gw1_offsets);
+    EXPECT_EQ(got.labels.gw1, ref.labels.gw1);
+    EXPECT_EQ(got.labels.super_nodes, ref.labels.super_nodes);
+    expect_metrics_eq(got.metrics, ref.metrics);
+  }
+}
+
+TEST(DistOracleTwoLevel, DisconnectedSuperSkeletonInfinityRegression) {
+  // Hand-built labels with a DISCONNECTED super-skeleton and gateway legs
+  // near kInfDist: the composition's deepest term has five addends, so an
+  // unskipped ∞ super-pair entry would wrap u64 and surface as a small
+  // finite distance. The ∞ skip must keep the answer exactly kInfDist.
+  const u64 huge = kInfDist - 1;  // finite, maximal — the wraparound fuel
+  dist_labels lab;
+  lab.n = 4;
+  lab.n_s = 2;
+  lab.n_s2 = 2;
+  lab.h = 1;
+  lab.scheme = label_scheme::kTwoLevel;
+  lab.ball.offsets = {0, 1, 2, 3, 4};
+  lab.ball.entries = {{0, 0, 0}, {0, 1, 1}, {0, 2, 2}, {0, 3, 3}};  // self only
+  // Node 0 reaches skeleton index 0, node 3 reaches skeleton index 1; the
+  // skeleton nodes reach themselves.
+  lab.gw_offsets = {0, 1, 2, 3, 4};
+  lab.gateways = {{0, huge, 1}, {0, 0, 1}, {1, 0, 2}, {1, huge, 2}};
+  lab.skeleton_nodes = {1, 2};
+  // Level 1: each skeleton node's ball1 holds only itself, and its super
+  // gateway leg is also maximal — the unskipped candidate would sum to
+  // 4·(kInfDist−1) + kInfDist > 2^64 and wrap to a value BELOW kInfDist,
+  // turning an unreachable pair into a bogus finite answer. The two super
+  // components never meet: all cross entries ∞.
+  lab.ball1_offsets = {0, 1, 2};
+  lab.ball1_entries = {{0, 0, 0}, {0, 1, 1}};
+  lab.gw1_offsets = {0, 1, 2};
+  lab.gw1 = {{0, huge, 0}, {1, huge, 1}};
+  lab.super_nodes = {0, 1};
+  lab.skel = {0, kInfDist, kInfDist, 0};
+  // Within a component ({0,1} through skeleton node 1, {2,3} through
+  // skeleton node 2) the one finite leg is `huge`; every cross-component
+  // pair must compose to exactly kInfDist.
+  for (u32 u = 0; u < 4; ++u)
+    for (u32 v = 0; v < 4; ++v) {
+      const u64 want =
+          u == v ? 0 : ((u < 2) == (v < 2) ? huge : kInfDist);
+      EXPECT_EQ(lab.query(u, v), want) << u << "->" << v;
+    }
+  EXPECT_EQ(lab.row(0), (std::vector<u64>{0, huge, kInfDist, kInfDist}));
+  EXPECT_EQ(lab.row(3), (std::vector<u64>{kInfDist, kInfDist, huge, 0}));
+}
+
+TEST(DistOracleEdge, SkeletonRowsInfinityEntrySkippedExactly) {
+  // kSkeletonRows regression for the same invariant: the only gateway's row
+  // entry is ∞ with a maximal finite gateway leg — the sum exceeds kInfDist,
+  // and the answer must be EXACTLY kInfDist, not a clamped or wrapped value.
+  dist_labels lab;
+  lab.n = 2;
+  lab.n_s = 1;
+  lab.h = 1;
+  lab.scheme = label_scheme::kSkeletonRows;
+  lab.ball.offsets = {0, 1, 2};
+  lab.ball.entries = {{0, 0, 0}, {0, 1, 1}};
+  lab.gw_offsets = {0, 1, 2};
+  lab.gateways = {{0, kInfDist - 1, 1}, {0, 0, 1}};
+  lab.skeleton_nodes = {1};
+  lab.skel = {kInfDist, 0};  // d(s, 0) = ∞: node 0 is severed from s
+  EXPECT_EQ(lab.query(0, 1), kInfDist - 1);  // the finite leg still works
+  EXPECT_EQ(lab.query(1, 0), kInfDist);      // ∞ entry skipped, not added
+  EXPECT_EQ(lab.row(1), (std::vector<u64>{kInfDist, 0}));
+}
+
 }  // namespace
 }  // namespace hybrid

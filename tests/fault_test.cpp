@@ -466,27 +466,54 @@ TEST(FaultHealing, HealedFloodDeterministicAcrossThreads) {
   EXPECT_EQ(run(8), base);
 }
 
-TEST(FaultHealing, OnlyDocumentedStagesRefuseAndNameRemediation) {
-  // Exactly two fault_unsupported cases remain (docs/FAULTS.md §3):
-  // frozen-round Bellman–Ford (here) and the charged routing stand-in
+TEST(FaultHealing, OnlyDocumentedStageRefusesAndNamesRemediation) {
+  // Exactly one fault_unsupported case remains (docs/FAULTS.md §3): the
+  // charged routing stand-in
   // (FaultRouting.ChargedStandInRefusesFaultsNamingRemediation). Everything
   // exploration-shaped heals now — pinned by the no-throw calls below.
   const graph g = gen::path(8);
   hybrid_net net(g, default_cfg(), 1, with_faults(drop_local_opts(0.1)));
-  try {
-    limited_bellman_ford(net, {0}, 3, /*advance_rounds=*/false);
-    FAIL() << "frozen-round Bellman–Ford must refuse under local faults";
-  } catch (const fault_unsupported& e) {
-    // The message must name the remediation, not just the refusal.
-    EXPECT_NE(std::string(e.what()).find("advance_rounds=true"),
-              std::string::npos)
-        << e.what();
-  }
-  // The formerly refusing exploration stages heal on this same net.
+  EXPECT_NO_THROW(limited_bellman_ford(net, {0}, 3, /*advance_rounds=*/false));
   EXPECT_NO_THROW(full_local_exploration(net, 3, true));
   EXPECT_NO_THROW(truncated_eccentricity(net, 3));
   EXPECT_NO_THROW(run_local_exploration(net, 3, true));
   EXPECT_NO_THROW(hop_discovery(net, {0}, 8));
+}
+
+TEST(FaultHealing, FrozenRoundBellmanFordHonorsItsRemediation) {
+  // The formerly refusing frozen-round Bellman–Ford (PR 8's documented
+  // leftover) now falls back to the advancing healed path automatically.
+  // Its results must match the fault-free frozen-round run exactly, and —
+  // because the caller's nominal budget with advance_rounds=false is zero
+  // rounds — every round the fallback consumed must be surfaced as
+  // extra_rounds.
+  const u32 n = 24;
+  const graph g = gen::erdos_renyi_connected(n, 3.0, 9, 21);  // weighted
+  const std::vector<u32> sources = {0, 7};
+  const u32 h = 6;
+  hybrid_net clean(g, default_cfg(), 3);
+  const auto want = limited_bellman_ford(clean, sources, h,
+                                         /*advance_rounds=*/false);
+  EXPECT_EQ(clean.round(), 0u);  // the trick really freezes the counter
+  for (u64 fs = 0; fs < 5; ++fs) {
+    hybrid_net net(g, default_cfg(), 3,
+                   with_faults(drop_local_opts(0.3, fs), 2));
+    const auto got = limited_bellman_ford(net, sources, h,
+                                          /*advance_rounds=*/false);
+    for (u32 v = 0; v < n; ++v) {
+      ASSERT_EQ(got[v].size(), want[v].size()) << v << " fs=" << fs;
+      for (u32 i = 0; i < got[v].size(); ++i) {
+        EXPECT_EQ(got[v][i].source, want[v][i].source) << v;
+        EXPECT_EQ(got[v][i].dist, want[v][i].dist) << v << " fs=" << fs;
+        EXPECT_EQ(got[v][i].via, want[v][i].via) << v << " fs=" << fs;
+      }
+    }
+    // Healing consumed real rounds, and all of them are accounted extra.
+    const run_metrics m = net.raw_metrics();
+    EXPECT_GT(net.round(), 0u) << fs;
+    EXPECT_EQ(m.extra_rounds, net.round()) << fs;
+    EXPECT_EQ(m.local_items, m.local_delivered + m.local_dropped) << fs;
+  }
 }
 
 // ---- healed exploration engine ---------------------------------------------
@@ -953,6 +980,12 @@ void expect_labels_identical(const dist_labels& got, const dist_labels& want) {
   }
   ASSERT_EQ(got.skeleton_nodes, want.skeleton_nodes);
   ASSERT_EQ(got.skel, want.skel);
+  ASSERT_EQ(got.n_s2, want.n_s2);
+  ASSERT_EQ(got.ball1_offsets, want.ball1_offsets);
+  ASSERT_EQ(got.ball1_entries, want.ball1_entries);
+  ASSERT_EQ(got.gw1_offsets, want.gw1_offsets);
+  ASSERT_EQ(got.gw1, want.gw1);
+  ASSERT_EQ(got.super_nodes, want.super_nodes);
 }
 
 TEST(FaultPipelines, LocalFaultsHealEndToEnd) {
@@ -1015,6 +1048,27 @@ TEST(FaultPipelines, BaselineApspLabelsIdenticalUnderLocalDrops) {
         g, default_cfg(), 9, with_faults(drop_local_opts(0.3, fs), 2));
     expect_labels_identical(got.labels, want.labels);
     ASSERT_EQ(got.dist, want.dist) << fs;
+  }
+}
+
+TEST(FaultPipelines, TwoLevelApspLabelsIdenticalUnderLocalDrops) {
+  // The two-level path swaps its charged E_S dissemination stand-in for the
+  // real healing gossip whenever a fault plane is active (DESIGN.md
+  // deviation 10) — labels must come out bit-equal to the fault-free
+  // two-level run, which never sees the gossip at all.
+  const u32 n = 40;
+  const graph g = gen::erdos_renyi_connected(n, 4.0, 8, 15);
+  sim_options o;
+  o.hierarchy = oracle_hierarchy::kTwoLevel;
+  const auto want = hybrid_apsp_exact(g, default_cfg(), 9, false, o);
+  ASSERT_EQ(want.labels.scheme, label_scheme::kTwoLevel);
+  ASSERT_GE(want.labels.n_s2, 1u);
+  for (u64 fs = 0; fs < 8; ++fs) {
+    sim_options fo = with_faults(drop_local_opts(0.3, fs), fs % 2 ? 2 : 1);
+    fo.hierarchy = oracle_hierarchy::kTwoLevel;
+    const auto got = hybrid_apsp_exact(g, default_cfg(), 9, false, fo);
+    expect_labels_identical(got.labels, want.labels);
+    ASSERT_GT(got.metrics.local_dropped, 0u) << fs;
   }
 }
 

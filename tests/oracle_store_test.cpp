@@ -12,10 +12,12 @@
 //   * a concurrent-reader torture test — 8 threads hammering one mapped
 //     view with seeded request mixes, per-thread result digests
 //     seed-deterministic and equal to an in-memory replay;
-//   * a golden file — tests/data/golden_oracle_v1.bin is read bit-exactly
+//   * a golden file — tests/data/golden_oracle_v2.bin is read bit-exactly
 //     and byte-compared against a fresh save of the same labels, so ANY
 //     format change forces a conscious kOracleFormatVersion bump
-//     (regenerate deliberately with HYBRID_REGEN_ORACLE_GOLDEN=1).
+//     (regenerate deliberately with HYBRID_REGEN_ORACLE_GOLDEN=1). The v1
+//     golden stays committed as the versioning-policy witness: today's
+//     loader must reject it with exactly store_errc::bad_version.
 #include "core/oracle_store.hpp"
 
 #include <gtest/gtest.h>
@@ -93,6 +95,7 @@ void expect_identical(const dist_labels& lab, const mapped_oracle& m,
   const label_view& mv = m.view();
   ASSERT_EQ(mv.n, lab.n);
   ASSERT_EQ(mv.n_s, lab.n_s);
+  ASSERT_EQ(mv.n_s2, lab.n_s2);
   ASSERT_EQ(mv.h, lab.h);
   ASSERT_EQ(mv.scheme, lab.scheme);
   ASSERT_EQ(mv.routes, lab.routes);
@@ -129,10 +132,14 @@ void round_trip(const graph& g, u64 seed, label_scheme scheme,
   sim_options o;
   o.storage = result_storage::kLabels;
   dist_labels lab;
-  if (scheme == label_scheme::kSkeletonRows)
+  if (scheme == label_scheme::kSkeletonRows) {
     lab = hybrid_apsp_exact(g, cfg(), seed, /*build_routes=*/true, o).labels;
-  else
+  } else if (scheme == label_scheme::kTwoLevel) {
+    o.hierarchy = oracle_hierarchy::kTwoLevel;
+    lab = hybrid_apsp_exact(g, cfg(), seed, /*build_routes=*/true, o).labels;
+  } else {
     lab = baseline_apsp_ahkss(g, cfg(), seed, o).labels;
+  }
   const std::string path = tmp_path(name);
   save_oracle(lab, path);
   mapped_oracle m = mapped_oracle::load(path);
@@ -177,6 +184,29 @@ TEST(OracleStoreRoundTrip, DisconnectedBothSchemes) {
   const graph g = graph::from_edges(9, edges);
   round_trip(g, 3, label_scheme::kSkeletonRows, "disc_rows");
   round_trip(g, 3, label_scheme::kSkeletonPairs, "disc_pairs");
+}
+
+TEST(OracleStoreRoundTrip, TwoLevelRandomized) {
+  // The v2 sections (ball1/gw1/super-nodes/super-pairs) through the same
+  // property harness: save → mmap → bit-identical at reader threads
+  // {1, 2, 8}.
+  for (u64 seed : {64u, 65u, 66u}) {
+    rng r(seed);
+    const u32 n = 64 + static_cast<u32>(r.next_below(56));
+    const double deg = 3.0 + r.next_double() * 3.0;
+    const u64 max_w = r.next_bool(0.5) ? 1 : 9;
+    const graph g = gen::erdos_renyi_connected(n, deg, max_w, seed);
+    round_trip(g, seed, label_scheme::kTwoLevel, "er_two_level");
+  }
+}
+
+TEST(OracleStoreRoundTrip, TwoLevelDisconnected) {
+  // Disconnected super-skeleton on disk: ∞ super-pair entries must survive
+  // the round trip and keep composing to exactly kInfDist.
+  std::vector<edge_spec> edges{{0, 1, 2}, {1, 2, 1}, {2, 3, 3},
+                               {4, 5, 1}, {5, 6, 2}, {4, 6, 2}};
+  const graph g = graph::from_edges(9, edges);
+  round_trip(g, 3, label_scheme::kTwoLevel, "disc_two_level");
 }
 
 // ---- edge cases -------------------------------------------------------------
@@ -385,6 +415,98 @@ TEST_F(OracleStoreCorruption, BallEntryNodeOutOfRange) {
   EXPECT_EQ(load_patched(), store_errc::bad_csr);
 }
 
+TEST_F(OracleStoreCorruption, SuperSizeNonzeroOnRowsScheme) {
+  // A single-level file claiming a super-skeleton is self-contradictory and
+  // must die in the header layer, before any section is interpreted.
+  header()->n_s2 = 5;
+  EXPECT_EQ(load_patched(), store_errc::bad_header);
+}
+
+TEST_F(OracleStoreCorruption, ReservedFieldNonzero) {
+  header()->reserved = 1;
+  EXPECT_EQ(load_patched(), store_errc::bad_header);
+}
+
+/// Corruption battery over the v2 level-1 slabs: the fixture labels are a
+/// real two-level build, so sections 6–10 are all populated.
+class OracleStoreTwoLevelCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const graph g = gen::erdos_renyi_connected(40, 4.0, 5, 73);
+    sim_options o;
+    o.storage = result_storage::kLabels;
+    o.hierarchy = oracle_hierarchy::kTwoLevel;
+    lab_ = hybrid_apsp_exact(g, cfg(), 73, /*build_routes=*/false, o).labels;
+    lab_.topo = nullptr;
+    ASSERT_GE(lab_.n_s2, 1u);
+    ASSERT_FALSE(lab_.ball1_entries.empty());
+    ASSERT_FALSE(lab_.gw1.empty());
+    path_ = tmp_path("corrupt2");
+    save_oracle(lab_, path_);
+    bytes_ = read_file(path_);
+    ASSERT_GE(bytes_.size(), sizeof(oracle_header));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  oracle_header* header() {
+    return reinterpret_cast<oracle_header*>(bytes_.data());
+  }
+  store_errc load_patched() {
+    write_file(path_, bytes_);
+    return load_error(path_);
+  }
+
+  dist_labels lab_;
+  std::string path_;
+  std::vector<std::byte> bytes_;
+};
+
+TEST_F(OracleStoreTwoLevelCorruption, PristineBytesStillLoad) {
+  write_file(path_, bytes_);
+  const mapped_oracle m = mapped_oracle::load(path_);
+  EXPECT_EQ(m.view().n_s2, lab_.n_s2);
+  EXPECT_EQ(m.view().scheme, label_scheme::kTwoLevel);
+}
+
+TEST_F(OracleStoreTwoLevelCorruption, SchemeDowngradeWithLiveSuperSections) {
+  // Flipping the scheme byte back to kSkeletonRows while n_s2 and the
+  // level-1 sections are populated must die in the header layer.
+  header()->scheme = 0;
+  EXPECT_EQ(load_patched(), store_errc::bad_header);
+}
+
+TEST_F(OracleStoreTwoLevelCorruption, Ball1OffsetsCountWrong) {
+  // The ball1 offset table must have exactly n_s + 1 elements.
+  header()->sections[6].count -= 1;
+  header()->sections[6].bytes -= sizeof(u64);
+  EXPECT_EQ(load_patched(), store_errc::bad_section);
+}
+
+TEST_F(OracleStoreTwoLevelCorruption, Ball1EntrySkeletonIndexOutOfRange) {
+  auto* entries = reinterpret_cast<exploration_entry*>(
+      bytes_.data() + header()->sections[7].offset);
+  entries[0].source = lab_.n_s + 100;
+  reseal_checksum(bytes_);
+  EXPECT_EQ(load_patched(), store_errc::bad_csr);
+}
+
+TEST_F(OracleStoreTwoLevelCorruption, Gw1SuperIndexOutOfRange) {
+  auto* gws = reinterpret_cast<source_distance*>(bytes_.data() +
+                                                 header()->sections[9].offset);
+  ASSERT_GT(header()->sections[9].count, 0u);
+  gws[0].source = lab_.n_s2 + 3;
+  reseal_checksum(bytes_);
+  EXPECT_EQ(load_patched(), store_errc::bad_csr);
+}
+
+TEST_F(OracleStoreTwoLevelCorruption, SuperNodeOutOfRange) {
+  auto* supers =
+      reinterpret_cast<u32*>(bytes_.data() + header()->sections[10].offset);
+  supers[0] = lab_.n_s + 9;
+  reseal_checksum(bytes_);
+  EXPECT_EQ(load_patched(), store_errc::bad_csr);
+}
+
 TEST(OracleStoreErrors, MissingFileIsIo) {
   EXPECT_EQ(load_error(tmp_path("never_written")), store_errc::io);
 }
@@ -476,12 +598,15 @@ TEST(OracleStoreTorture, EightThreadsSeedDeterministicDigests) {
 
 /// Hand-built labels with fully pinned contents: no algorithm, no RNG, no
 /// floating point — the committed bytes depend on the serializer alone.
+/// kTwoLevel so all 11 v2 sections (including the level-1 slabs and their
+/// zeroed source_distance padding) are pinned by the golden bytes.
 dist_labels golden_labels() {
   dist_labels lab;
   lab.n = 4;
   lab.n_s = 2;
+  lab.n_s2 = 1;
   lab.h = 2;
-  lab.scheme = label_scheme::kSkeletonRows;
+  lab.scheme = label_scheme::kTwoLevel;
   lab.routes = false;
   lab.ball.offsets = {0, 2, 4, 6, 8};
   lab.ball.entries = {{0, 0, 0}, {3, 1, 1},   // node 0: self, node 1 at 3
@@ -491,14 +616,29 @@ dist_labels golden_labels() {
   lab.gw_offsets = {0, 1, 2, 3, 4};
   lab.gateways = {{0, 3, 1}, {0, 0, 1}, {1, 0, 2}, {1, 5, 2}};
   lab.skeleton_nodes = {1, 2};
-  lab.skel = {3, 0, 9, 14,   // d(s=0 (node 1), ·)
-              12, 9, 0, 5};  // d(s=1 (node 2), ·)
+  lab.skel = {0};  // the 1×1 super-pair table (member: skeleton index 0)
+  lab.ball1_offsets = {0, 2, 4};
+  lab.ball1_entries = {{0, 0, 0}, {9, 1, 1},   // s1 = 0: self, s1 = 1 at 9
+                       {9, 0, 0}, {0, 1, 1}};  // s1 = 1
+  lab.gw1_offsets = {0, 1, 2};
+  lab.gw1 = {{0, 0, 0}, {0, 9, 0}};  // both reach the sole super member
+  lab.super_nodes = {0};
   return lab;
+}
+
+TEST(OracleStoreGolden, V1FileRejectedWithTypedBadVersion) {
+  // The versioning policy, pinned: the v1 golden stays committed, and this
+  // build must reject it with exactly bad_version — never reinterpret,
+  // never crash, never a vaguer error from a later layer.
+  const std::string v1 = std::string(HYBRID_TEST_DATA_DIR) +
+                         "/golden_oracle_v1.bin";
+  ASSERT_FALSE(read_file(v1).empty()) << "v1 golden fixture missing";
+  EXPECT_EQ(load_error(v1), store_errc::bad_version);
 }
 
 TEST(OracleStoreGolden, CommittedFileReadsBitExactly) {
   const std::string golden = std::string(HYBRID_TEST_DATA_DIR) +
-                             "/golden_oracle_v1.bin";
+                             "/golden_oracle_v2.bin";
   const dist_labels lab = golden_labels();
   if (std::getenv("HYBRID_REGEN_ORACLE_GOLDEN") != nullptr)
     save_oracle(lab, golden);
@@ -522,6 +662,7 @@ TEST(OracleStoreGolden, CommittedFileReadsBitExactly) {
   EXPECT_EQ(m.header().version, kOracleFormatVersion);
   EXPECT_EQ(m.view().n, lab.n);
   EXPECT_EQ(m.view().n_s, lab.n_s);
+  EXPECT_EQ(m.view().n_s2, lab.n_s2);
   EXPECT_EQ(m.view().h, lab.h);
   for (u32 u = 0; u < lab.n; ++u)
     for (u32 v = 0; v < lab.n; ++v)

@@ -9,8 +9,10 @@
 #include "graph/generators.hpp"
 #include "graph/shortest_paths.hpp"
 #include "proto/clique_embed.hpp"
+#include "proto/flood.hpp"
 #include "proto/representatives.hpp"
 #include "proto/skeleton.hpp"
+#include "util/rng.hpp"
 
 namespace hybrid {
 namespace {
@@ -96,6 +98,158 @@ TEST(Skeleton, SssPHelper) {
   const auto all = skeleton_apsp(sk);
   for (u32 i = 0; i < sk.nodes.size(); ++i)
     EXPECT_EQ(skeleton_sssp(sk, i), all[i]);
+}
+
+TEST(Skeleton, ApspExecutorThreadCountsBitIdentical) {
+  // The hoisted-CSR skeleton APSP runs its per-source Dijkstras on the
+  // deterministic executor: rows must be bit-identical at every thread
+  // count (and to the convenience sequential overload).
+  const graph g = gen::erdos_renyi_connected(300, 5.0, 8, 43);
+  hybrid_net net(g, cfg(), 43);
+  const skeleton_result sk = compute_skeleton(net, 0.2);
+  const auto ref = skeleton_apsp(sk);
+  for (u32 threads : {1u, 2u, 8u}) {
+    sim_options so;
+    so.threads = threads;
+    round_executor ex(so);
+    EXPECT_EQ(skeleton_apsp(sk, ex), ref) << "threads " << threads;
+  }
+}
+
+TEST(Skeleton, SparseExplorationPathMatchesDenseBellmanFord) {
+  // compute_skeleton's fault-free path uses the ball-bounded sparse
+  // exploration; the exploration equivalence contract says its triples AND
+  // its round/traffic charging are bit-identical to the dense limited
+  // Bellman–Ford it replaced. Verify both against a direct BF run.
+  const graph g = gen::erdos_renyi_connected(220, 4.5, 8, 33);
+  hybrid_net a(g, cfg(), 33);
+  const skeleton_result sk = compute_skeleton(a, 0.12);
+  hybrid_net b(g, cfg(), 33);
+  const auto near = limited_bellman_ford(b, sk.nodes, sk.h,
+                                         /*advance_rounds=*/true);
+  EXPECT_EQ(a.round(), b.round());
+  EXPECT_EQ(a.raw_metrics().local_items, b.raw_metrics().local_items);
+  for (u32 v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(sk.near[v].size(), near[v].size()) << "node " << v;
+    for (u32 k = 0; k < near[v].size(); ++k) {
+      EXPECT_EQ(sk.near[v][k].source, near[v][k].source) << v << "/" << k;
+      EXPECT_EQ(sk.near[v][k].dist, near[v][k].dist) << v << "/" << k;
+      EXPECT_EQ(sk.near[v][k].via, near[v][k].via) << v << "/" << k;
+    }
+  }
+}
+
+// ---- explore_adjacency (the super-skeleton's ball builder) ------------------
+
+/// h-limited all-pairs reference over an explicit adjacency: h rounds of
+/// synchronous relaxation, the primitive's definition executed naively.
+std::vector<std::vector<u64>> limited_apsp_brute(
+    const std::vector<std::vector<std::pair<u32, u64>>>& adj, u32 h) {
+  const u32 n = static_cast<u32>(adj.size());
+  std::vector<std::vector<u64>> d(n, std::vector<u64>(n, kInfDist));
+  for (u32 v = 0; v < n; ++v) d[v][v] = 0;
+  for (u32 it = 0; it < h; ++it) {
+    auto next = d;
+    for (u32 v = 0; v < n; ++v)
+      for (const auto& [to, w] : adj[v])
+        for (u32 s = 0; s < n; ++s)
+          if (d[v][s] < kInfDist)
+            next[to][s] = std::min(next[to][s], d[v][s] + w);
+    d = next;
+  }
+  return d;
+}
+
+TEST(ExploreAdjacency, MatchesBruteForceAtEveryThreadCount) {
+  rng r(77);
+  std::vector<std::vector<std::pair<u32, u64>>> adj(40);
+  for (u32 e = 0; e < 80; ++e) {
+    const u32 u = static_cast<u32>(r.next_below(40));
+    const u32 v = static_cast<u32>(r.next_below(40));
+    if (u == v) continue;
+    const u64 w = 1 + r.next_below(9);
+    adj[u].push_back({v, w});
+    adj[v].push_back({u, w});
+  }
+  const auto brute = limited_apsp_brute(adj, 3);
+  sparse_exploration_result ref;
+  for (u32 threads : {1u, 2u, 8u}) {
+    sim_options so;
+    so.threads = threads;
+    round_executor ex(so);
+    const sparse_exploration_result res = explore_adjacency(adj, 3, ex);
+    // Correct AND complete vs the brute force: exactly the finite pairs.
+    u64 finite = 0;
+    for (u32 v = 0; v < 40; ++v) {
+      for (const exploration_entry& e : res.reached(v))
+        EXPECT_EQ(e.dist, brute[v][e.source]) << v << "<-" << e.source;
+      for (u32 s = 0; s < 40; ++s) finite += brute[v][s] < kInfDist;
+    }
+    EXPECT_EQ(res.entries.size(), finite);
+    if (threads == 1) {
+      ref = res;
+    } else {
+      EXPECT_EQ(res.offsets, ref.offsets) << "threads " << threads;
+      EXPECT_EQ(res.entries, ref.entries) << "threads " << threads;
+    }
+  }
+}
+
+// ---- super-skeleton (the two-level hierarchy's level 2) ---------------------
+
+TEST(SuperSkeleton, TablesMatchSkeletonGraphReferences) {
+  const graph g = gen::erdos_renyi_connected(200, 5.0, 6, 13);
+  hybrid_net net(g, cfg(), 13);
+  const skeleton_result sk = compute_skeleton(net, 0.15);
+  const u32 n_s = static_cast<u32>(sk.nodes.size());
+  const u64 r0 = net.round();
+  const super_skeleton_result ss = compute_super_skeleton(net, sk, 0.3, 2);
+  EXPECT_GT(net.round(), r0);  // the membership announcement is charged
+  const u32 n_s2 = static_cast<u32>(ss.members.size());
+  ASSERT_GE(n_s2, 1u);
+  ASSERT_LE(n_s2, n_s);
+
+  // Membership bookkeeping: ascending members, consistent inverse index.
+  for (u32 j = 0; j < n_s2; ++j) {
+    if (j > 0) {
+      EXPECT_LT(ss.members[j - 1], ss.members[j]);
+    }
+    EXPECT_EQ(ss.index_of[ss.members[j]], j);
+  }
+
+  // Super-pair rows are exact skeleton-graph distances between members.
+  for (u32 i = 0; i < n_s2; ++i) {
+    const std::vector<u64> dist = skeleton_sssp(sk, ss.members[i]);
+    for (u32 j = 0; j < n_s2; ++j)
+      EXPECT_EQ(ss.pairs[u64{i} * n_s2 + j], dist[ss.members[j]])
+          << i << "," << j;
+  }
+
+  // ball1 holds exactly the h1-limited pairs over G_S…
+  const auto brute = limited_apsp_brute(sk.edges, ss.h1);
+  u64 finite = 0;
+  for (u32 s1 = 0; s1 < n_s; ++s1) {
+    for (u64 k = ss.ball_offsets[s1]; k < ss.ball_offsets[s1 + 1]; ++k) {
+      const exploration_entry& e = ss.ball_entries[k];
+      EXPECT_EQ(e.dist, brute[s1][e.source]) << s1 << "<-" << e.source;
+    }
+    for (u32 t1 = 0; t1 < n_s; ++t1) finite += brute[s1][t1] < kInfDist;
+  }
+  EXPECT_EQ(ss.ball_entries.size(), finite);
+
+  // …and gw1 is that ball filtered to members, re-indexed to super indices.
+  for (u32 s1 = 0; s1 < n_s; ++s1) {
+    u64 at = ss.gw_offsets[s1];
+    for (u64 k = ss.ball_offsets[s1]; k < ss.ball_offsets[s1 + 1]; ++k) {
+      const exploration_entry& e = ss.ball_entries[k];
+      if (ss.index_of[e.source] == super_skeleton_result::npos) continue;
+      ASSERT_LT(at, ss.gw_offsets[s1 + 1]);
+      EXPECT_EQ(ss.gateways[at].source, ss.index_of[e.source]);
+      EXPECT_EQ(ss.gateways[at].dist, e.dist);
+      ++at;
+    }
+    EXPECT_EQ(at, ss.gw_offsets[s1 + 1]) << "s1 " << s1;
+  }
 }
 
 // ---- representatives --------------------------------------------------------
