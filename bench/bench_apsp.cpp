@@ -46,7 +46,8 @@ u64 count_wrong(const std::vector<std::vector<u64>>& got, const graph& g) {
 struct oracle_run {
   apsp_result res;
   double wall_ms = 0;
-  double peak_mb = 0;  ///< this run's own peak (water mark reset per run)
+  double peak_mb = 0;    ///< this run's own peak (water mark reset per run)
+  bool peak_valid = false;  ///< reset took; otherwise peak_mb is stale
 };
 
 /// Label-only APSP with the skeleton hop budget pinned to `target_h`
@@ -64,7 +65,7 @@ oracle_run run_oracle(const graph& g, u32 target_h, u64 seed, bool routes,
                       double p = 0.0, bool two_level = false, double p2 = 0.0,
                       u32 h1 = 0) {
   oracle_run out;
-  benchrss::reset_peak_rss();
+  out.peak_valid = benchrss::reset_peak_rss();
   const double n = static_cast<double>(g.num_nodes());
   model_config cfg;
   // Back-solve h = ⌈ξ·(1/p)·ln n⌉ = target_h at the p actually in force.
@@ -81,7 +82,9 @@ oracle_run run_oracle(const graph& g, u32 target_h, u64 seed, bool routes,
                           : oracle_hierarchy::kSingleLevel;
   out.wall_ms =
       timed_ms([&] { out.res = hybrid_apsp_exact(g, cfg, seed, routes, o); });
-  out.peak_mb = benchrss::peak_rss_mb();
+  // A failed water-mark reset would make this read whatever ran before;
+  // keep the field absent rather than wrong.
+  out.peak_mb = out.peak_valid ? benchrss::peak_rss_mb() : 0.0;
   return out;
 }
 
@@ -348,24 +351,25 @@ int main(int argc, char** argv) {
                 table::integer(static_cast<long long>(d_exact)),
                 table::integer(static_cast<long long>(d_true)),
                 table::num(ns, 0), table::num(run.wall_ms, 0),
-                table::num(run.peak_mb, 0)});
-    rec.add("label_oracle",
-            {{"n", n_mid},
-             {"h", lab.h},
-             {"rounds", run.res.metrics.rounds},
-             {"messages", run.res.metrics.global_messages},
-             {"label_entries", lab.label_entries()},
-             {"covered", est.covered},
-             {"sampled", acc.sampled},
-             {"finite", acc.finite},
-             {"exact", acc.exact},
-             {"diam_estimate", est.estimate},
-             {"diam_exact", d_exact},
-             {"diam_true", d_true},
-             {"wall_ms", run.wall_ms},
-             {"queries_per_sec", qps},
-             {"next_hops_per_sec", nhps},
-             {"peak_mem_mb", run.peak_mb}});
+                run.peak_valid ? table::num(run.peak_mb, 0) : "-"});
+    std::vector<bench_field> fields = {
+        {"n", n_mid},
+        {"h", lab.h},
+        {"rounds", run.res.metrics.rounds},
+        {"messages", run.res.metrics.global_messages},
+        {"label_entries", lab.label_entries()},
+        {"covered", est.covered},
+        {"sampled", acc.sampled},
+        {"finite", acc.finite},
+        {"exact", acc.exact},
+        {"diam_estimate", est.estimate},
+        {"diam_exact", d_exact},
+        {"diam_true", d_true},
+        {"wall_ms", run.wall_ms},
+        {"queries_per_sec", qps},
+        {"next_hops_per_sec", nhps}};
+    if (run.peak_valid) fields.push_back({"peak_mem_mb", run.peak_mb});
+    rec.add("label_oracle", std::move(fields));
   }
   if (n_large > 0) {
     const graph g = gen::bounded_degree(n_large, 3, 1, 42);
@@ -390,23 +394,24 @@ int main(int argc, char** argv) {
                 table::integer(static_cast<long long>(acc.exact)),
                 table::integer(static_cast<long long>(est.estimate)), "-", "-",
                 table::num(ns, 0), table::num(run.wall_ms, 0),
-                table::num(run.peak_mb, 0)});
-    rec.add("label_large",
-            {{"n", n_large},
-             {"h", lab.h},
-             {"n_s", lab.n_s},
-             {"n_s2", lab.n_s2},
-             {"rounds", run.res.metrics.rounds},
-             {"messages", run.res.metrics.global_messages},
-             {"label_entries", lab.label_entries()},
-             {"covered", est.covered},
-             {"sampled", acc.sampled},
-             {"finite", acc.finite},
-             {"exact", acc.exact},
-             {"diam_estimate", est.estimate},
-             {"wall_ms", run.wall_ms},
-             {"queries_per_sec", qps},
-             {"peak_mem_mb", run.peak_mb}});
+                run.peak_valid ? table::num(run.peak_mb, 0) : "-"});
+    std::vector<bench_field> fields = {
+        {"n", n_large},
+        {"h", lab.h},
+        {"n_s", lab.n_s},
+        {"n_s2", lab.n_s2},
+        {"rounds", run.res.metrics.rounds},
+        {"messages", run.res.metrics.global_messages},
+        {"label_entries", lab.label_entries()},
+        {"covered", est.covered},
+        {"sampled", acc.sampled},
+        {"finite", acc.finite},
+        {"exact", acc.exact},
+        {"diam_estimate", est.estimate},
+        {"wall_ms", run.wall_ms},
+        {"queries_per_sec", qps}};
+    if (run.peak_valid) fields.push_back({"peak_mem_mb", run.peak_mb});
+    rec.add("label_large", std::move(fields));
     // The acceptance bars at n = 10^5: sampled rows answer (near-)all pairs
     // finitely, the skeleton reaches (near-)all nodes, and the whole APSP +
     // diameter-estimate pipeline stays under 2 GB peak RSS (vs ~80 GB for
@@ -416,7 +421,7 @@ int main(int argc, char** argv) {
                   "two-level oracle answered < 99% of sampled pairs");
     HYB_INVARIANT(u64{est.covered} * 100 >= u64{n_large} * 99,
                   "skeleton gateways cover < 99% of nodes");
-    if (run.peak_mb > 0)
+    if (run.peak_valid)
       HYB_INVARIANT(run.peak_mb < 2048.0,
                     "label-mode APSP exceeded the 2 GB peak-RSS budget");
   }

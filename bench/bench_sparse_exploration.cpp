@@ -33,12 +33,13 @@ struct explo_run {
   run_metrics m;
   double wall_ms = 0;
   u64 allocs = 0;
-  double peak_mb = 0;  ///< this run's own peak (water mark reset per run)
+  double peak_mb = 0;    ///< this run's own peak (water mark reset per run)
+  bool peak_valid = false;  ///< reset took; otherwise peak_mb is stale
 };
 
 explo_run run(const graph& g, u32 h, u32 threads, exploration_path path) {
   explo_run out;
-  reset_peak_rss();
+  out.peak_valid = reset_peak_rss();
   const u64 alloc0 = benchalloc::allocations();
   out.wall_ms = timed_ms([&] {
     sim_options o;
@@ -49,7 +50,9 @@ explo_run run(const graph& g, u32 h, u32 threads, exploration_path path) {
     out.m = net.snapshot();
   });
   out.allocs = benchalloc::allocations() - alloc0;
-  out.peak_mb = peak_rss_mb();
+  // A failed water-mark reset would make this read the previous run's
+  // peak; keep the field absent rather than wrong.
+  out.peak_mb = out.peak_valid ? peak_rss_mb() : 0.0;
   return out;
 }
 
@@ -80,16 +83,18 @@ int main(int argc, char** argv) {
                table::num(static_cast<double>(r.m.local_items) / 1e6, 2),
                table::integer(static_cast<long long>(r.res.total_reached())),
                table::num(r.wall_ms, 1), table::num(apr, 1),
-               table::num(r.peak_mb, 0)});
-    rec.add(name, {{"n", r.res.offsets.size() - 1},
-                   {"h", h},
-                   {"threads", threads},
-                   {"rounds", r.m.rounds},
-                   {"messages", r.m.local_items},
-                   {"reached", r.res.total_reached()},
-                   {"wall_ms", r.wall_ms},
-                   {"allocs_per_round", apr},
-                   {"peak_mem_mb", r.peak_mb}});
+               r.peak_valid ? table::num(r.peak_mb, 0) : "-"});
+    std::vector<bench_field> fields = {
+        {"n", r.res.offsets.size() - 1},
+        {"h", h},
+        {"threads", threads},
+        {"rounds", r.m.rounds},
+        {"messages", r.m.local_items},
+        {"reached", r.res.total_reached()},
+        {"wall_ms", r.wall_ms},
+        {"allocs_per_round", apr}};
+    if (r.peak_valid) fields.push_back({"peak_mem_mb", r.peak_mb});
+    rec.add(name, std::move(fields));
   };
 
   u64 ball_total = 0;
@@ -105,7 +110,8 @@ int main(int argc, char** argv) {
                   "thread count changed charged rounds/traffic");
     row("sparse_large", 8, large8);
     ball_total = large1.res.total_reached();
-    large_peak = std::max(large1.peak_mb, large8.peak_mb);
+    if (large1.peak_valid && large8.peak_valid)
+      large_peak = std::max(large1.peak_mb, large8.peak_mb);
   }  // drop the large results so the differential rows report their own peak
   // The acceptance bound: memory stays O(Σ|ball_h(v)|), orders of magnitude
   // under the ~80 GB the dense matrices would need at n = 10⁵.

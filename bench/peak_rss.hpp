@@ -12,12 +12,20 @@ namespace benchrss {
 
 /// Reset the kernel's peak-RSS water mark so each scenario reports its own
 /// peak (Linux only; elsewhere peaks stay monotone across scenarios).
-inline void reset_peak_rss() {
+/// Returns true only when the reset actually took: on failure a later
+/// peak_rss_mb() still reads the PREVIOUS high-water mark, so callers must
+/// drop (not report) their peak field rather than publish a stale number —
+/// /proc/self/clear_refs is refused in some sandboxes and containers, and
+/// the kernel may only surface the error at fputs or fclose time.
+[[nodiscard]] inline bool reset_peak_rss() {
 #if defined(__linux__)
-  if (std::FILE* f = std::fopen("/proc/self/clear_refs", "w")) {
-    std::fputs("5", f);
-    std::fclose(f);
-  }
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fputs("5", f) >= 0;  // 5 = reset peak water mark
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+#else
+  return false;  // no per-scenario water mark to reset elsewhere
 #endif
 }
 

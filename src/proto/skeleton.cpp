@@ -18,9 +18,14 @@ skeleton_result compute_skeleton(hybrid_net& net, double sample_prob,
   sk.sample_prob = sample_prob;
   sk.index_of.assign(n, skeleton_result::npos);
 
+  // Parallel over nodes: each node draws one Bernoulli from its own
+  // persistent stream, and node_rng(v)'s lazy init touches only slot v, so
+  // sharding is race-free and the verdict vector is bit-identical to the
+  // sequential sweep at every thread count.
   std::vector<char> in(n, 0);
-  for (u32 v = 0; v < n; ++v)
+  net.executor().for_nodes(n, [&](u32 v) {
     if (net.node_rng(v).next_bool(sample_prob)) in[v] = 1;
+  });
   for (u32 v : forced) {
     HYB_REQUIRE(v < n, "forced node out of range");
     in[v] = 1;
@@ -213,10 +218,13 @@ super_skeleton_result compute_super_skeleton(hybrid_net& net,
   ss.h1 = h1;
   ss.index_of.assign(n_s, super_skeleton_result::npos);
 
-  // Sample from the members' own per-node RNG streams, like level 1.
+  // Sample from the members' own per-node RNG streams, like level 1 —
+  // parallel over members (distinct nodes, so distinct streams and
+  // distinct node_rng slots).
   std::vector<char> in(n_s, 0);
-  for (u32 i = 0; i < n_s; ++i)
+  net.executor().for_nodes(n_s, [&](u32 i) {
     if (net.node_rng(sk.nodes[i]).next_bool(sample_prob)) in[i] = 1;
+  });
   if (std::find(in.begin(), in.end(), char{1}) == in.end())
     in[0] = 1;  // the level-2 table must exist; deterministic fallback
   for (u32 i = 0; i < n_s; ++i)

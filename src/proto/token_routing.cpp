@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
-#include <unordered_map>
 
 #include "proto/aggregation.hpp"
 #include "proto/clustering.hpp"
 #include "util/assert.hpp"
+#include "util/flat_map.hpp"
 
 namespace hybrid {
 
@@ -313,9 +313,12 @@ std::vector<std::vector<routed_token>> route_tokens(
     return h.eval_to_range(key, n);
   };
 
-  // Per-node intermediate storage and pending (unanswerable yet) requests.
-  std::vector<std::unordered_map<u64, u64>> store(n);
-  std::vector<std::unordered_map<u64, std::vector<u32>>> pending(n);
+  // Per-node intermediate storage and pending (unanswerable yet) requests —
+  // open-addressed flat maps (util/flat_map.hpp): the round loop below does
+  // a point lookup per received message, and node-based unordered_maps made
+  // each one a heap-node cache miss on the exact path's hottest edge.
+  std::vector<flat_u64_map<u64>> store(n);
+  std::vector<flat_u64_map<std::vector<u32>>> pending(n);
   std::vector<std::deque<std::pair<u64, u32>>> answer_queue(n);
   // fetched[v]: tokens v obtained as receiver-helper.
   std::vector<std::vector<helper_task>> fetched(n);
@@ -327,7 +330,7 @@ std::vector<std::vector<routed_token>> route_tokens(
   // pushed/acked flags and a label→index map to resolve acks (sender side),
   // per-label answered flags to dedup duplicate answers (receiver side).
   std::vector<std::vector<u8>> pushed, acked, requested, answered;
-  std::vector<std::unordered_map<u64, u32>> task_of, want_of;
+  std::vector<flat_u64_map<u32>> task_of, want_of;
   std::vector<u64> acked_left(n, 0), retx;
   if (faulty) {
     pushed.resize(n);
@@ -390,13 +393,13 @@ std::vector<std::vector<routed_token>> route_tokens(
       while (!answer_queue[v].empty() && net.global_budget(v) > 0) {
         auto [lbl, dst] = answer_queue[v].front();
         answer_queue[v].pop_front();
-        auto it = store[v].find(lbl);
-        HYB_INVARIANT(it != store[v].end(), "answering a missing token");
+        const u64* tok = store[v].find(lbl);
+        HYB_INVARIANT(tok != nullptr, "answering a missing token");
         net.try_send_global(
-            global_msg::make(v, dst, kAnswerTag, {lbl, it->second}));
+            global_msg::make(v, dst, kAnswerTag, {lbl, *tok}));
         // Under faults the answer may drop and the receiver re-request, so
         // the store must stay answerable.
-        if (!faulty) store[v].erase(it);
+        if (!faulty) store[v].erase(lbl);
       }
       // Sender-helper role: push tokens (keep a reserve for requests).
       const u32 reserve = net.global_cap() / 4;
@@ -453,11 +456,10 @@ std::vector<std::vector<routed_token>> route_tokens(
         switch (m.tag) {
           case kTokenTag: {
             store[v].emplace(m.w[0], m.w[1]);
-            auto p = pending[v].find(m.w[0]);
-            if (p != pending[v].end()) {
-              for (u32 dst : p->second)
+            if (std::vector<u32>* waiters = pending[v].find(m.w[0])) {
+              for (u32 dst : *waiters)
                 answer_queue[v].push_back({m.w[0], dst});
-              pending[v].erase(p);
+              pending[v].erase(m.w[0]);
             }
             // Ack even duplicates — the previous ack may have dropped.
             // Best-effort: a lost ack just means one more re-push.
@@ -467,7 +469,7 @@ std::vector<std::vector<routed_token>> route_tokens(
             break;
           }
           case kRequestTag: {
-            if (store[v].count(m.w[0]))
+            if (store[v].contains(m.w[0]))
               answer_queue[v].push_back({m.w[0], m.src});
             else
               pending[v][m.w[0]].push_back(m.src);
@@ -475,11 +477,10 @@ std::vector<std::vector<routed_token>> route_tokens(
           }
           case kAnswerTag: {
             if (faulty) {
-              const auto it = want_of[v].find(m.w[0]);
-              HYB_INVARIANT(it != want_of[v].end(),
-                            "answer for an unrequested label");
-              if (answered[v][it->second]) break;  // duplicate answer
-              answered[v][it->second] = 1;
+              const u32* idx = want_of[v].find(m.w[0]);
+              HYB_INVARIANT(idx != nullptr, "answer for an unrequested label");
+              if (answered[v][*idx]) break;  // duplicate answer
+              answered[v][*idx] = 1;
             }
             fetched[v].push_back({m.w[0], m.w[1]});
             HYB_INVARIANT(want_left[v] > 0, "unexpected answer");
@@ -487,10 +488,10 @@ std::vector<std::vector<routed_token>> route_tokens(
             break;
           }
           case kTokAckTag: {
-            const auto it = task_of[v].find(m.w[0]);
-            HYB_INVARIANT(it != task_of[v].end(), "ack for an unknown token");
-            if (!acked[v][it->second]) {
-              acked[v][it->second] = 1;
+            const u32* idx = task_of[v].find(m.w[0]);
+            HYB_INVARIANT(idx != nullptr, "ack for an unknown token");
+            if (!acked[v][*idx]) {
+              acked[v][*idx] = 1;
               HYB_INVARIANT(acked_left[v] > 0, "ack bookkeeping underflow");
               --acked_left[v];
             }

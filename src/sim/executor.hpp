@@ -85,9 +85,14 @@ struct sim_options {
   fault_options faults = {};
 };
 
-/// Largest n for which exploration_path::kAuto stays on the dense path
-/// (above it the n² matrices dominate memory and sparse wins); also the
-/// result_storage::kAuto materialization cutoff.
+/// Largest n for which exploration_path::kAuto stays on the dense path;
+/// also the result_storage::kAuto materialization cutoff. Calibrated from
+/// measured dense/sparse crossover sweeps (docs/ARCHITECTURE.md §6.2):
+/// the true discriminator is ball density, which is unknown at resolve
+/// time, so this n bounds the regret instead — dense through 4096 costs
+/// at most ~155 ms / ~183 MB against the sparsest measured workload while
+/// keeping a 2.3–2.7× time-and-RSS win when balls saturate; 8192 would
+/// quadruple the worst-case footprint, 2048 forfeits the saturated win.
 inline constexpr u32 kDenseExplorationMaxNodes = 4096;
 
 /// The exploration path `sim_options` resolves to for an n-node network.

@@ -19,25 +19,43 @@
 //     peak — γ at most in the HYBRID simulator — after one warm-up round.
 //   * Delivery (`deliver()`, called at the round barrier only) is a
 //     counting sort by destination, parallel over the executor's static
-//     source shards: (1) each shard counts its messages per destination
-//     into a shard-private row, (2) the orchestrator takes an exclusive
-//     prefix sum over (dst, shard) — giving each destination a slice of the
-//     flat inbox arena and each (shard, dst) pair a disjoint scatter
-//     cursor — then (3) each shard scatters its messages in (src,
-//     send-index) order. Slices are filled shard-ascending and shards are
-//     contiguous ascending node ranges, so every inbox ends up sorted by
+//     source shards and restructured (PR 10) so every inner loop is a
+//     contiguous stream the compiler can auto-vectorize:
+//       (1) COUNT (parallel): each shard histograms its messages into its
+//           private (n+1)-wide count row. On filtered (faulty) rounds the
+//           shard first freezes the drop verdicts into a contiguous u32
+//           key stream — the filter is evaluated exactly ONCE per message,
+//           dropped messages become the sentinel key `n` — and histograms
+//           that stream branchlessly (drops land in the sentinel column);
+//           unfiltered rounds histogram the slabs directly, which measures
+//           faster than paying an extraction pass they don't need;
+//       (2) PREFIX (orchestrator, O(n·T) independent of message volume):
+//           three shard-row-contiguous sweeps — column totals across the
+//           active rows, one exclusive prefix over the totals, and the
+//           conversion of each count row into scatter cursors — replacing
+//           the old dst-outer/shard-inner walk whose stride-n row hops
+//           defeated both the cache and the vectorizer;
+//       (3) SCATTER (parallel): each shard walks its sources ascending and
+//           copies each message to `arena[cursor[dst]++]` — a single
+//           branchless fixed-stride-read line for the filtered and
+//           unfiltered paths alike, because on filtered rounds dst comes
+//           from the key stream and dropped messages scatter into a
+//           write-only trash region after the kept slices (cursor column
+//           n), never into an inbox.
+//     Slices are filled shard-ascending and shards are contiguous
+//     ascending node ranges, so every inbox ends up sorted by
 //     (src, send-index): bit-identical to the old sequential scan at every
 //     thread count (docs/CONCURRENCY.md §5).
 //
 // All buffers are high-water-marked and reused across rounds; after a short
 // warm-up a round performs zero heap allocations (asserted by
-// tests/mailbox_test.cpp via stats(), quantified by bench_mailbox).
-// Fault injection (docs/FAULTS.md): deliver() optionally takes a drop
-// filter. The filter is a pure predicate of (src, send-index, message); it
-// is applied identically in the counting pass and the scatter pass, so the
-// prefix sums are computed over the *kept* messages only and the surviving
-// subset lands in the same (src, send-index) order at every thread count —
-// sparse (filtered) outboxes keep the full determinism contract.
+// tests/mailbox_test.cpp via stats(), quantified by bench_mailbox and
+// bench_scatter). Fault injection (docs/FAULTS.md): the drop filter is a
+// pure predicate of (src, send-index, message); its verdicts are frozen
+// into the key stream, so the prefix sums describe exactly the kept set
+// and the surviving subset lands in the same (src, send-index) order at
+// every thread count — sparse (filtered) outboxes keep the full
+// determinism contract.
 #pragma once
 
 #include <algorithm>
@@ -114,8 +132,9 @@ class flat_mailbox {
   u64 dropped_last_round() const { return sent_last_ - delivered_last_; }
 
   /// Drop predicate for fault injection: true = the message is lost.
-  /// Must be a pure function of its arguments (it runs once in the count
-  /// pass and once in the scatter pass, from parallel shards).
+  /// Must be a pure function of its arguments; it runs exactly once per
+  /// message, from the count pass's parallel shards (the verdict is frozen
+  /// into the per-shard key stream that the scatter pass replays).
   using drop_filter = std::function<bool(u32 src, u32 send_idx, const Msg&)>;
 
   /// Barrier-phase delivery: the deterministic parallel counting sort
@@ -145,8 +164,16 @@ class flat_mailbox {
     }
 
     const u32 shards = exec.shard_count(n_);
-    if (counts_.size() != static_cast<std::size_t>(shards) * n_) {
-      counts_.assign(static_cast<std::size_t>(shards) * n_, 0);
+    // Count rows are (n + 1) wide: columns [0, n) are real destinations,
+    // column n is the sentinel that collects filtered-out messages so the
+    // histogram and scatter loops below stay branchless.
+    const std::size_t cols = static_cast<std::size_t>(n_) + 1;
+    if (counts_.size() != static_cast<std::size_t>(shards) * cols) {
+      counts_.assign(static_cast<std::size_t>(shards) * cols, 0);
+      ++grow_events_;
+    }
+    if (totals_.size() != cols) {
+      totals_.assign(cols, 0);
       ++grow_events_;
     }
     // Tail shards can be empty (their count rows stay stale); the prefix
@@ -154,69 +181,113 @@ class flat_mailbox {
     u32 active = shards;
     while (active > 0 && exec.shard_begin(n_, active - 1) >= n_) --active;
 
-    // Pass 1 (parallel over source shards): count per destination. Each
-    // shard writes only its own counts_ row. With a drop filter, only kept
-    // messages are counted — the prefix sums below must describe exactly
-    // the set pass 2 scatters, or the inboxes would carry stale slots.
-    exec.for_shards(n_, [&](u32 s, u32 begin, u32 end) {
-      u32* row = counts_.data() + static_cast<std::size_t>(s) * n_;
-      std::fill_n(row, n_, 0);
-      if (drop == nullptr) {
-        for (u32 src = begin; src < end; ++src)
-          for_each_out(src, [&](const Msg& m) { ++row[m.dst]; });
-      } else {
-        for (u32 src = begin; src < end; ++src) {
-          u32 i = 0;
-          for_each_out(src, [&](const Msg& m) {
-            if (!(*drop)(src, i++, m)) ++row[m.dst];
-          });
-        }
+    // Filtered rounds freeze the drop verdicts into a per-shard contiguous
+    // key stream: shard s's messages map to keys_[key_begin_[s],
+    // key_begin_[s+1]) in (src, send-index) order, dropped ones as the
+    // sentinel key n. The filter (a std::function — the expensive part of
+    // a faulty round) then runs exactly ONCE per message instead of once
+    // in the count pass and again in the scatter, and both downstream
+    // loops stay branchless. Unfiltered rounds skip the stream entirely:
+    // for them the extraction pass is pure overhead (measured ~20 % on
+    // bench_mailbox), and their count/scatter loops are already
+    // sentinel-free.
+    const bool keyed = drop != nullptr;
+    if (keyed) {
+      if (key_begin_.size() != static_cast<std::size_t>(shards) + 1)
+        key_begin_.assign(static_cast<std::size_t>(shards) + 1, 0);
+      u64 queued = 0;
+      for (u32 s = 0; s < shards; ++s) {
+        key_begin_[s] = queued;
+        const u32 begin = exec.shard_begin(n_, s);
+        const u32 end = exec.shard_begin(n_, s + 1);
+        for (u32 src = begin; src < end; ++src) queued += out_count_[src];
       }
+      key_begin_[shards] = queued;
+      if (keys_.size() < queued) {
+        keys_.resize(std::max<std::size_t>(queued, 2 * keys_.size()));
+        ++grow_events_;
+      }
+    }
+
+    // Pass 1 (parallel over source shards): count per destination — for
+    // filtered rounds, extract the key stream first and histogram the
+    // contiguous u32 stream (branchless: drops land in the sentinel
+    // column). Each shard writes only its own counts_ row. The dispatch
+    // lambdas capture `this` ALONE (the filter travels via active_drop_)
+    // so the executor's std::function wrapper always fits its 16-byte
+    // small-buffer slot: deliver() stays at ZERO heap allocations per
+    // steady-state round no matter how many parameters the passes need —
+    // gated by bench_scatter's zero_alloc_rounds field, which caught a
+    // capture-one-local-too-many regression costing an allocation per
+    // dispatch while this kernel was being written.
+    active_drop_ = drop;
+    exec.for_shards(n_, [this](u32 s, u32 begin, u32 end) {
+      count_shard(s, begin, end);
     });
 
-    // Exclusive prefix sum over (dst, shard) on the orchestrator — O(n·T),
-    // independent of message volume. in_begin_[d] becomes the start of d's
-    // inbox slice; counts_[s][d] is repurposed as shard s's scatter cursor.
+    // Prefix (orchestrator, O(n·T) independent of message volume) as three
+    // shard-row-contiguous sweeps — every loop below walks consecutive
+    // memory, so they auto-vectorize where the old dst-outer/shard-inner
+    // walk (stride-n hops between rows per destination) could not.
+    // (a) Column totals across the active rows.
+    {
+      const u32* row0 = counts_.data();
+      std::copy(row0, row0 + cols, totals_.data());
+      for (u32 s = 1; s < active; ++s) {
+        const u32* row = counts_.data() + static_cast<std::size_t>(s) * cols;
+        u32* t = totals_.data();
+        for (std::size_t d = 0; d < cols; ++d) t[d] += row[d];
+      }
+    }
+    // (b) Exclusive prefix over the totals: in_begin_[d] becomes the start
+    // of d's inbox slice and totals_[d] the column's first free slot. The
+    // sentinel column's slots — the trash region dropped messages scatter
+    // into — sit after every kept slice, so inboxes never see them.
     u64 total = 0;
     for (u32 d = 0; d < n_; ++d) {
       in_begin_[d] = static_cast<u32>(total);
-      for (u32 s = 0; s < active; ++s) {
-        u32& c = counts_[static_cast<std::size_t>(s) * n_ + d];
-        const u32 cnt = c;
-        c = static_cast<u32>(total);
-        total += cnt;
-      }
+      const u32 cnt = totals_[d];
+      totals_[d] = static_cast<u32>(total);
+      total += cnt;
     }
-    HYB_INVARIANT(total <= ~u32{0}, "round message volume overflows u32");
+    const u64 dropped_now = totals_[n_];
     in_begin_[n_] = static_cast<u32>(total);
+    totals_[n_] = static_cast<u32>(total);
+    HYB_INVARIANT(total + dropped_now <= ~u32{0},
+                  "round message volume overflows u32");
     delivered_last_ = total;
     delivered_total_ += total;
 
-    if (in_arena_.size() < total) {
+    // (c) Convert each count row into scatter cursors: cursor[s][d] =
+    // column start + messages of earlier shards. Row-contiguous again.
+    for (u32 s = 0; s < active; ++s) {
+      u32* row = counts_.data() + static_cast<std::size_t>(s) * cols;
+      u32* t = totals_.data();
+      for (std::size_t d = 0; d < cols; ++d) {
+        const u32 cnt = row[d];
+        row[d] = t[d];
+        t[d] += cnt;
+      }
+    }
+
+    if (in_arena_.size() < total + dropped_now) {
       // Geometric growth, never shrunk: the arena is a high-water buffer.
-      in_arena_.resize(std::max<std::size_t>(total, 2 * in_arena_.size()));
+      // The trash region (dropped_now slots) lives past the kept slices.
+      in_arena_.resize(
+          std::max<std::size_t>(total + dropped_now, 2 * in_arena_.size()));
       ++grow_events_;
     }
 
     // Pass 2 (parallel over source shards): scatter. Shard-private cursor
-    // rows address disjoint slices, so writes never race; walking sources
-    // in ascending order within each contiguous shard yields the global
-    // (src, send-index) order.
-    exec.for_shards(n_, [&](u32 s, u32 begin, u32 end) {
-      u32* cursor = counts_.data() + static_cast<std::size_t>(s) * n_;
-      Msg* arena = in_arena_.data();
-      if (drop == nullptr) {
-        for (u32 src = begin; src < end; ++src)
-          for_each_out(src, [&](const Msg& m) { arena[cursor[m.dst]++] = m; });
-      } else {
-        for (u32 src = begin; src < end; ++src) {
-          u32 i = 0;
-          for_each_out(src, [&](const Msg& m) {
-            if (!(*drop)(src, i++, m)) arena[cursor[m.dst]++] = m;
-          });
-        }
-      }
+    // rows address disjoint slices (including disjoint trash sub-regions
+    // for the sentinel column), so writes never race; walking sources in
+    // ascending order within each contiguous shard yields the global
+    // (src, send-index) order. One branchless line per message: the source
+    // side is a fixed-stride slab read plus the sequential key stream.
+    exec.for_shards(n_, [this](u32 s, u32 begin, u32 end) {
+      scatter_shard(s, begin, end);
     });
+    active_drop_ = nullptr;
 
     // Reset outboxes; re-stride once if any slab overflowed this round so
     // the same workload shape never overflows (or allocates) again.
@@ -267,6 +338,9 @@ class flat_mailbox {
     std::vector<Msg>(static_cast<std::size_t>(n_)).swap(out_arena_);
     std::vector<Msg>().swap(in_arena_);
     std::vector<u32>().swap(counts_);
+    std::vector<u32>().swap(totals_);
+    std::vector<u32>().swap(keys_);
+    std::vector<u64>().swap(key_begin_);
     std::fill(in_begin_.begin(), in_begin_.end(), 0);
     for (auto& spill : overflow_) std::vector<Msg>().swap(spill);
     delivered_last_ = 0;
@@ -285,6 +359,46 @@ class flat_mailbox {
     for (u32 i = in_slab; i < count; ++i) f(overflow_[src][i - in_slab]);
   }
 
+  /// Delivery pass 1 for one shard (parallel; writes only row s of counts_
+  /// and shard s's key-stream segment). active_drop_ is set by deliver().
+  void count_shard(u32 s, u32 begin, u32 end) {
+    const std::size_t cols = static_cast<std::size_t>(n_) + 1;
+    u32* row = counts_.data() + static_cast<std::size_t>(s) * cols;
+    std::fill_n(row, cols, 0);
+    if (active_drop_ == nullptr) {
+      for (u32 src = begin; src < end; ++src)
+        for_each_out(src, [&](const Msg& m) { ++row[m.dst]; });
+    } else {
+      u32* keys = keys_.data() + key_begin_[s];
+      u32 k = 0;
+      for (u32 src = begin; src < end; ++src) {
+        u32 i = 0;
+        for_each_out(src, [&](const Msg& m) {
+          keys[k++] = (*active_drop_)(src, i++, m) ? n_ : m.dst;
+        });
+      }
+      for (u32 j = 0; j < k; ++j) ++row[keys[j]];
+    }
+  }
+
+  /// Delivery pass 2 for one shard (parallel; writes only the arena slices
+  /// row s's cursors address — kept slices plus shard s's trash segment).
+  void scatter_shard(u32 s, u32 begin, u32 end) {
+    const std::size_t cols = static_cast<std::size_t>(n_) + 1;
+    u32* cursor = counts_.data() + static_cast<std::size_t>(s) * cols;
+    Msg* arena = in_arena_.data();
+    if (active_drop_ == nullptr) {
+      for (u32 src = begin; src < end; ++src)
+        for_each_out(src, [&](const Msg& m) { arena[cursor[m.dst]++] = m; });
+    } else {
+      const u32* keys = keys_.data() + key_begin_[s];
+      u32 k = 0;
+      for (u32 src = begin; src < end; ++src)
+        for_each_out(src,
+                     [&](const Msg& m) { arena[cursor[keys[k++]]++] = m; });
+    }
+  }
+
   u32 n_;
   u32 cap_;
   u32 stride_;
@@ -293,7 +407,14 @@ class flat_mailbox {
   std::vector<std::vector<Msg>> overflow_;  ///< slab spill (rare, re-strided)
   std::vector<Msg> in_arena_;    ///< delivered messages, dst-contiguous
   std::vector<u32> in_begin_;    ///< inbox slice offsets, size n+1
-  std::vector<u32> counts_;      ///< shard-count / scatter-cursor matrix
+  std::vector<u32> counts_;      ///< shard-count / scatter-cursor matrix,
+                                 ///< (n+1)-wide rows (column n = dropped)
+  std::vector<u32> totals_;      ///< prefix scratch: column totals → next
+                                 ///< free slot per column, size n+1
+  std::vector<u32> keys_;        ///< per-shard contiguous dst-key streams
+                                 ///< (sentinel n = dropped), high-water
+  std::vector<u64> key_begin_;   ///< key-stream offset per shard, size T+1
+  const drop_filter* active_drop_ = nullptr;  ///< this deliver()'s filter
   u64 delivered_last_ = 0;
   u64 delivered_total_ = 0;
   u64 sent_last_ = 0;

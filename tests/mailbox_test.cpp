@@ -275,6 +275,64 @@ TEST(FlatMailbox, FilteredSparseScatterKeepsOrderAcrossThreadCounts) {
   EXPECT_EQ(std::get<1>(base), std::get<2>(base) + std::get<3>(base));
 }
 
+// The keyed (filtered) kernel through the overflow/re-stride transition:
+// the per-shard key streams are sized from the live send counts, so the
+// round that spills past the initial slab width and triggers the barrier
+// re-stride is exactly where a sizing bug would corrupt the frozen filter
+// verdicts. Drive flat_mailbox directly (the bench_scatter shape) with a
+// tiny initial stride so round 0 overflows with the filter already
+// active, and require bit-identical inboxes and drop accounting at every
+// thread count, before AND after the re-stride.
+TEST(FlatMailbox, FilteredDeliveryBitIdenticalThroughRestride) {
+  const u32 n = 97;
+  const u32 cap = 24;
+  const u32 rounds = 6;
+  const flat_mailbox<global_msg>::drop_filter drop =
+      [](u32 src, u32 idx, const global_msg& m) {
+        return derive_seed(derive_seed(src, idx), m.w[0]) % 4 == 0;
+      };
+  auto run = [&](u32 threads) {
+    round_executor exec(sim_options{threads});
+    flat_mailbox<global_msg> mail(n, cap, /*initial_stride=*/3);
+    std::vector<u64> digests;
+    u64 delivered = 0, dropped = 0;
+    for (u32 r = 0; r < rounds; ++r) {
+      exec.for_nodes(n, [&](u32 v) {
+        // Every node overflows the 3-slot slab in round 0; later rounds
+        // mix empty, slab-only, and full senders.
+        const u32 k = r == 0 ? cap : (v + r) % (cap + 1);
+        for (u32 i = 0; i < k; ++i)
+          mail.push(global_msg::make(v, (v * 31 + i * 7 + r) % n, i,
+                                     {derive_seed(v, i ^ r)}));
+      });
+      mail.deliver(exec, &drop);
+      delivered += mail.delivered_last_round();
+      dropped += mail.dropped_last_round();
+      u64 round_digest = 0;
+      for (u32 v = 0; v < n; ++v) {
+        const auto box = mail.inbox(v);
+        for (u32 i = 1; i < box.size(); ++i)
+          EXPECT_TRUE(box[i - 1].src < box[i].src ||
+                      (box[i - 1].src == box[i].src &&
+                       box[i - 1].tag < box[i].tag))
+              << "round " << r << " dst " << v << " pos " << i;
+        round_digest ^= (v + 1) * inbox_digest(box);
+      }
+      digests.push_back(round_digest);
+      if (r == 0) {
+        // The overflow round must also have re-strided at its barrier.
+        EXPECT_GT(mail.stats().overflow_messages, 0u) << threads;
+        EXPECT_EQ(mail.stats().stride, cap) << threads;
+      }
+    }
+    EXPECT_GT(dropped, 0u) << threads;
+    return std::make_tuple(digests, delivered, dropped);
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(8), base);
+}
+
 TEST(FlatMailbox, EmptyRoundsDeliverNothingAndResetInboxes) {
   const graph g = gen::path(4);
   hybrid_net net(g, model_config{}, 3, sim_options{8});

@@ -22,10 +22,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <thread>
 #include <vector>
@@ -636,12 +639,52 @@ TEST(OracleStoreGolden, V1FileRejectedWithTypedBadVersion) {
   EXPECT_EQ(load_error(v1), store_errc::bad_version);
 }
 
+/// Latest mtime of the serializer's sources (what the golden bytes depend
+/// on), or 0 when a file cannot be statted.
+std::time_t serializer_source_mtime() {
+  const std::string src_root = std::string(HYBRID_TEST_DATA_DIR) + "/../..";
+  std::time_t latest = 0;
+  for (const char* rel : {"/src/core/oracle_store.hpp",
+                          "/src/core/oracle_store.cpp"}) {
+    struct stat st{};
+    if (stat((src_root + rel).c_str(), &st) != 0) return 0;
+    latest = std::max(latest, st.st_mtime);
+  }
+  return latest;
+}
+
 TEST(OracleStoreGolden, CommittedFileReadsBitExactly) {
   const std::string golden = std::string(HYBRID_TEST_DATA_DIR) +
                              "/golden_oracle_v2.bin";
   const dist_labels lab = golden_labels();
-  if (std::getenv("HYBRID_REGEN_ORACLE_GOLDEN") != nullptr)
+  if (std::getenv("HYBRID_REGEN_ORACLE_GOLDEN") != nullptr) {
+    // Regen refuses to run from a stale build: writing the golden with a
+    // binary older than the serializer sources would commit the OLD
+    // format's bytes and let the format change ride in unpinned — the
+    // exact blind spot this file exists to close. Fail loudly instead of
+    // silently regenerating (docs/ARCHITECTURE.md §1.1, regen workflow).
+    struct stat self{};
+    ASSERT_EQ(stat("/proc/self/exe", &self), 0)
+        << "cannot stat the test binary to prove it is fresh — rerun the "
+           "regen on Linux or regenerate by hand with extreme care";
+    const std::time_t src_mtime = serializer_source_mtime();
+    ASSERT_NE(src_mtime, 0) << "cannot stat src/core/oracle_store.* from "
+                            << HYBRID_TEST_DATA_DIR
+                            << "/../.. — regen must run from a source tree";
+    ASSERT_GE(self.st_mtime, src_mtime)
+        << "REGEN REFUSED: this test binary is older than "
+           "src/core/oracle_store.* — it would write the previous "
+           "serializer's bytes as the new golden. Rebuild first:\n"
+           "  cmake --build build -j --target oracle_store_test";
     save_oracle(lab, golden);
+    // Post-regen verification: the file just written must load with this
+    // binary's kOracleFormatVersion. A mismatch means the version constant
+    // and the writer disagree — fail before the bad golden gets committed.
+    const mapped_oracle check = mapped_oracle::load(golden);
+    ASSERT_EQ(check.header().version, kOracleFormatVersion)
+        << "REGEN PRODUCED A BAD GOLDEN: written version does not match "
+           "kOracleFormatVersion; do not commit this file";
+  }
 
   // Today's serializer must reproduce the committed bytes exactly…
   const std::string fresh = tmp_path("golden_fresh");
